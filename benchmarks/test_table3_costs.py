@@ -1,0 +1,134 @@
+"""Table 3: forward and dispute costs across models (N = 2).
+
+For each of the four workloads a dispute is played (N=2) against proposers
+that perturbed operators at different depths; the table reports forward
+FLOPs, dispute steps (rounds), on-chain gas, the challenger's dispute compute
+(DCR) range and the cost ratio DCR / forward FLOPs.
+
+The paper reports cost ratios of 0.39-1.24x and ~2M gas per dispute for
+graphs of 1k-5k operators; this reproduction's graphs are ~50-150 operators
+so round counts and gas are proportionally smaller, but the headline property
+— a dispute costs on the order of one forward pass, not rounds-many forward
+passes — is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.merkle.commitments import commit_model
+from repro.protocol.coordinator import Coordinator
+from repro.protocol.dispute import DisputeGame
+from repro.protocol.roles import AdversarialProposer, Challenger, CommitteeMember
+from repro.tensorlib.device import DEVICE_FLEET
+from repro.utils.rng import derive_seed
+
+from benchmarks.reporting import emit_table
+from benchmarks.conftest import PAPER_NAMES
+
+MODELS = ("bert_mini", "diffusion_mini", "qwen_mini", "resnet_mini")
+NUM_FAULT_POSITIONS = 4
+PERTURBATION_SCALE = 0.02
+
+
+def _noise_perturbation(victim: str, scale: float = PERTURBATION_SCALE):
+    """Per-element noise fault (uniform shifts could be absorbed by downstream
+    normalization layers and would rightly not be disputed)."""
+
+    def apply(value: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(derive_seed(99, "fault", victim))
+        return (value + scale * rng.standard_normal(value.shape)).astype(np.float32)
+
+    return apply
+
+
+def _fault_positions(graph, count: int) -> List[str]:
+    operators = [n.name for n in graph.graph.operators
+                 if n.target in ("linear", "conv2d", "bmm", "layer_norm", "group_norm",
+                                 "rms_norm", "gelu", "silu", "relu")]
+    indices = np.linspace(0, len(operators) - 1, count).astype(int)
+    return [operators[i] for i in indices]
+
+
+def _dispute_costs(bench_model) -> Dict[str, object]:
+    commitment = commit_model(bench_model.graph, bench_model.thresholds)
+    inputs = bench_model.inputs(seed=5150)
+    committee = [CommitteeMember(f"cm{i}", DEVICE_FLEET[i % 4]) for i in range(3)]
+
+    forward_flops = None
+    ratios = []
+    dcrs = []
+    rounds = []
+    gas = []
+    for victim in _fault_positions(bench_model.graph, NUM_FAULT_POSITIONS):
+        coordinator = Coordinator()
+        for account in ("owner", "user", "cheater", "challenger"):
+            coordinator.chain.fund(account, 10_000.0)
+        coordinator.register_model(commitment, owner="owner")
+        game = DisputeGame(coordinator, bench_model.graph, commitment, bench_model.thresholds,
+                           committee=committee, n_way=2)
+        proposer = AdversarialProposer("cheater", DEVICE_FLEET[0],
+                                       {victim: _noise_perturbation(victim)})
+        challenger = Challenger("challenger", DEVICE_FLEET[3], bench_model.thresholds)
+        result = proposer.execute(bench_model.graph, commitment, inputs)
+        forward_flops = result.forward_flops
+        task = coordinator.submit_result(bench_model.graph.name, "user", "cheater",
+                                         result.commitment, fee=10.0)
+        outcome = game.run(task, proposer, challenger, result)
+        assert outcome.proposer_cheated
+        stats = outcome.statistics
+        ratios.append(stats.cost_ratio(forward_flops))
+        dcrs.append(stats.dcr_flops)
+        rounds.append(stats.rounds)
+        gas.append(stats.gas_used)
+    return {
+        "forward_flops": forward_flops,
+        "rounds": rounds,
+        "gas": gas,
+        "dcr": dcrs,
+        "ratios": ratios,
+        "num_operators": bench_model.graph.num_operators,
+    }
+
+
+def test_table3_costs(benchmark, bench_all):
+    def run():
+        return {name: _dispute_costs(bench_all[name]) for name in MODELS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in MODELS:
+        r = results[name]
+        rows.append([
+            PAPER_NAMES.get(name, name),
+            r["num_operators"],
+            r["forward_flops"] / 1e9,
+            f"{min(r['rounds'])}-{max(r['rounds'])}",
+            f"{min(r['gas']) / 1e3:.0f}-{max(r['gas']) / 1e3:.0f}",
+            f"[{min(r['dcr']) / 1e9:.4f}, {max(r['dcr']) / 1e9:.4f}]",
+            f"[{min(r['ratios']):.2f}, {max(r['ratios']):.2f}]",
+        ])
+    emit_table(
+        "table3_costs",
+        "Forward and dispute costs across models (N = 2)",
+        ["model", "operators", "forward (GFLOPs)", "dispute steps", "gas (k)",
+         "DCR (GFLOPs) range", "cost ratio range"],
+        rows,
+        notes=("Paper (Table 3): dispute steps 11-13, ~2M gas, DCR 0.39-1.24x a forward pass "
+               "for 1k-5k-operator graphs.  The mini graphs here are ~50-150 operators, so "
+               "rounds/gas are proportionally lower; the cost-ratio property (dispute ~ one "
+               "forward pass, not rounds x forward) is what transfers."),
+    )
+
+    for name in MODELS:
+        r = results[name]
+        # Dispute compute is on the order of a forward pass, never rounds x forward.
+        assert max(r["ratios"]) < 0.6 * max(r["rounds"]), name
+        assert min(r["ratios"]) > 0.05, name
+        # Gas stays within the same order of magnitude as the paper's ~2M figure.
+        assert max(r["gas"]) < 5_000_000, name
+        # Rounds follow the binary-partition depth of the graph.
+        assert max(r["rounds"]) <= int(np.ceil(np.log2(r["num_operators"]))) + 1, name

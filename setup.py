@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in editable mode in fully offline
+environments where the ``wheel`` package (required by PEP 660 editable
+installs with older setuptools) is unavailable: ``python setup.py develop``
+falls back to the legacy egg-link mechanism which needs no wheel build.
+"""
+
+from setuptools import setup
+
+setup()

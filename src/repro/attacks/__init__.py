@@ -1,0 +1,46 @@
+"""Bound-aware adversarial attacks (paper Sec. 4).
+
+The adversary is a white-box proposer that injects additive perturbations
+into intermediate tensors, trying to flip the model's decision while staying
+inside the verifier's admissible sets — either the per-operator theoretical
+IEEE-754 envelopes (leaf check) or the empirical percentile thresholds
+(search-time check).  The attack is projected gradient descent with Adam
+updates through the traced graph, followed by projection onto the chosen
+feasible set after every step.
+
+The evaluation utilities reproduce the paper's metrics: attack success rate
+(ASR), the margin progress on failed attacks (delta m_fail / delta_fail),
+target bucketing by logit-margin percentile, threshold scaling sweeps and
+honest-run false-positive rates (Table 2, Fig. 5).
+"""
+
+from repro.attacks.autodiff import GraphBackward, margin_gradients
+from repro.attacks.projections import (
+    project_empirical,
+    project_theoretical,
+    empirical_quantile_violation,
+)
+from repro.attacks.pgd import AttackConfig, AttackResult, PGDAttack
+from repro.attacks.evaluation import (
+    AttackCampaignResult,
+    BucketOutcome,
+    bucket_target_classes,
+    false_positive_rate,
+    run_attack_campaign,
+)
+
+__all__ = [
+    "GraphBackward",
+    "margin_gradients",
+    "project_empirical",
+    "project_theoretical",
+    "empirical_quantile_violation",
+    "AttackConfig",
+    "AttackResult",
+    "PGDAttack",
+    "AttackCampaignResult",
+    "BucketOutcome",
+    "bucket_target_classes",
+    "false_positive_rate",
+    "run_attack_campaign",
+]

@@ -1,0 +1,120 @@
+"""Reverse-mode differentiation through traced graphs.
+
+The attack needs gradients of the output logit margin with respect to chosen
+*intermediate activations* (the perturbation sites), not with respect to the
+model inputs.  :class:`GraphBackward` replays a recorded execution in reverse
+topological order, calling each operator's registered VJP, and returns the
+accumulated gradient at every requested node.  All gradient arithmetic runs
+in float64 — the adversary is not bound by the victim's precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graph.graph import GraphModule
+from repro.graph.node import Node
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DeviceProfile, REFERENCE_DEVICE
+
+
+class GraphBackward:
+    """Backpropagates output gradients to intermediate nodes of a traced graph."""
+
+    def __init__(self, graph_module: GraphModule,
+                 device: DeviceProfile = REFERENCE_DEVICE) -> None:
+        self.graph_module = graph_module
+        self.device = device
+
+    def run(
+        self,
+        env: Mapping[str, np.ndarray],
+        output_gradients: Mapping[str, np.ndarray],
+        wanted: Optional[Iterable[str]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Backpropagate ``output_gradients`` through a recorded execution.
+
+        Parameters
+        ----------
+        env:
+            The recorded forward environment (node name -> value), e.g.
+            ``ExecutionTrace.values`` from a run with ``record=True``.
+        output_gradients:
+            Seed gradients keyed by node name (typically the logits node).
+        wanted:
+            Node names whose accumulated gradient should be returned; when
+            omitted, gradients for every node reached by backpropagation are
+            returned.
+        """
+        graph = self.graph_module.graph
+        wanted_set: Optional[Set[str]] = set(wanted) if wanted is not None else None
+        grads: Dict[str, np.ndarray] = {
+            name: np.asarray(g, dtype=np.float64) for name, g in output_gradients.items()
+        }
+
+        for node in reversed(graph.nodes):
+            if node.op != "call_op":
+                continue
+            grad_out = grads.get(node.name)
+            if grad_out is None:
+                continue
+            spec = get_op(node.target)
+            if spec.vjp is None:
+                continue
+            arg_values: List[object] = []
+            for arg in node.args:
+                if isinstance(arg, Node):
+                    arg_values.append(env[arg.name])
+                else:
+                    arg_values.append(arg)
+            out_value = env[node.name]
+            input_grads = spec.vjp(self.device, grad_out, out_value, *arg_values, **node.kwargs)
+            if len(input_grads) != len(node.args):
+                raise RuntimeError(
+                    f"vjp for {node.target!r} returned {len(input_grads)} gradients "
+                    f"for {len(node.args)} inputs"
+                )
+            for arg, grad in zip(node.args, input_grads):
+                if grad is None or not isinstance(arg, Node):
+                    continue
+                if arg.op in ("get_param", "constant"):
+                    # The adversary cannot modify committed weights or traced
+                    # constants (Merkle commitments forbid it), so those
+                    # gradients are irrelevant to the attack.
+                    continue
+                existing = grads.get(arg.name)
+                grad64 = np.asarray(grad, dtype=np.float64)
+                grads[arg.name] = grad64 if existing is None else existing + grad64
+
+        if wanted_set is None:
+            return grads
+        return {name: grads[name] for name in wanted_set if name in grads}
+
+
+def margin_gradients(
+    graph_module: GraphModule,
+    env: Mapping[str, np.ndarray],
+    logits_node: str,
+    original_class: int,
+    target_class: int,
+    perturbation_nodes: Sequence[str],
+    batch_index: int = 0,
+    device: DeviceProfile = REFERENCE_DEVICE,
+) -> Dict[str, np.ndarray]:
+    """Gradient of ``L_margin = z_target - z_original`` w.r.t. the chosen nodes.
+
+    ``env`` must contain the logits node; the seed gradient is +1 at the
+    target class and -1 at the originally predicted class for the selected
+    batch row (Eq. 10).
+    """
+    logits = np.asarray(env[logits_node], dtype=np.float64)
+    seed = np.zeros_like(logits)
+    # Accumulate rather than assign so the degenerate case target == original
+    # correctly yields a zero seed (the margin is identically zero there).
+    seed[batch_index, target_class] += 1.0
+    seed[batch_index, original_class] -= 1.0
+    backward = GraphBackward(graph_module, device=device)
+    return backward.run(env, {logits_node: seed}, wanted=perturbation_nodes)

@@ -1,0 +1,83 @@
+"""Projections onto the verifier's admissible sets (paper Sec. 4.4).
+
+* :func:`project_theoretical` — element-wise clipping onto the theoretical
+  IEEE-754 envelope ``F_theo = {delta : |delta| <= tau_theo}`` (Eq. 11).
+* :func:`project_empirical` — projection onto the empirical feasible set
+  ``F_emp = {delta : Q_|delta|(r) <= C(r) for all r}`` by sorting the
+  perturbation magnitudes, clipping the order statistics against the
+  (monotone) cap curve, and restoring signs and shape (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def project_theoretical(delta: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Clip ``delta`` element-wise into ``[-tau, tau]``."""
+    delta64 = np.asarray(delta, dtype=np.float64)
+    tau64 = np.abs(np.asarray(tau, dtype=np.float64))
+    return np.clip(delta64, -tau64, tau64)
+
+
+def _interp_caps(ranks: np.ndarray, caps: np.ndarray, query_ranks: np.ndarray) -> np.ndarray:
+    """Evaluate the nondecreasing cap curve C(r) at the query ranks.
+
+    The curve interpolates linearly through (0, 0) and the committed
+    (rank, cap) points; monotonicity is enforced by a running maximum.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    caps = np.maximum.accumulate(np.asarray(caps, dtype=np.float64))
+    if ranks[0] > 0.0:
+        ranks = np.concatenate([[0.0], ranks])
+        caps = np.concatenate([[0.0], caps])
+    return np.interp(query_ranks, ranks, caps)
+
+
+def project_empirical(delta: np.ndarray, ranks: np.ndarray, caps: np.ndarray) -> np.ndarray:
+    """Project ``delta`` onto the empirical-threshold feasible set.
+
+    Sort ``|delta|`` ascending, clip the k-th order statistic by the cap at
+    rank ``(k - 1/2) / n``, enforce monotonicity of the clipped statistics,
+    then restore sign and shape.
+    """
+    delta64 = np.asarray(delta, dtype=np.float64)
+    shape = delta64.shape
+    flat = delta64.reshape(-1)
+    n = flat.size
+    if n == 0:
+        return delta64
+    magnitudes = np.abs(flat)
+    signs = np.sign(flat)
+    order = np.argsort(magnitudes, kind="stable")
+    sorted_mag = magnitudes[order]
+    query_ranks = (np.arange(1, n + 1, dtype=np.float64) - 0.5) / n
+    rank_caps = _interp_caps(ranks, caps, query_ranks)
+    rank_caps = np.maximum.accumulate(rank_caps)
+    clipped_sorted = np.minimum(sorted_mag, rank_caps)
+    clipped = np.empty_like(clipped_sorted)
+    clipped[order] = clipped_sorted
+    return (signs * clipped).reshape(shape)
+
+
+def empirical_quantile_violation(delta: np.ndarray, ranks: np.ndarray,
+                                 caps: np.ndarray) -> float:
+    """Max ratio of the perturbation's quantile function to the cap curve.
+
+    A value <= 1 means ``delta`` lies inside the empirical feasible set; the
+    attack uses this as a feasibility diagnostic and the tests use it to
+    verify that the projection really lands inside the set.
+    """
+    delta64 = np.abs(np.asarray(delta, dtype=np.float64)).reshape(-1)
+    n = delta64.size
+    if n == 0:
+        return 0.0
+    sorted_mag = np.sort(delta64)
+    query_ranks = (np.arange(1, n + 1, dtype=np.float64) - 0.5) / n
+    rank_caps = np.maximum.accumulate(_interp_caps(ranks, caps, query_ranks))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(rank_caps > 0, sorted_mag / np.maximum(rank_caps, 1e-300),
+                          np.where(sorted_mag > 0, np.inf, 0.0))
+    return float(np.max(ratios))

@@ -1,0 +1,53 @@
+"""Theoretical IEEE-754 rounding-error bounds (paper Sec. 3.1, Appendix A).
+
+For each traced operator, TAO computes a same-shape worst-case error envelope
+``tau_theo`` certifying that any IEEE-754-compliant re-association of the
+operator's arithmetic stays within ``[y - tau, y + tau]``.  Two variants are
+supported, mirroring the paper:
+
+* **deterministic** bounds built from the classic ``gamma_k = k*u / (1 - k*u)``
+  factor (Higham-style worst case), and
+* **probabilistic** bounds built from ``gamma_tilde_k(lambda) ≈ lambda*sqrt(k)*u``
+  which hold with probability ``>= 1 - 2*exp(-lambda^2 (1-u)^2 / 2)`` under the
+  mean-zero independent rounding model (the paper uses ``lambda = 4``,
+  i.e. >= 99.93% confidence).
+
+Bounds are *operator-local*: they account for propagation of intra-operator
+sub-step errors plus fresh rounding, but are never propagated across operator
+boundaries — composition is replaced by dispute localization.
+"""
+
+from repro.bounds.fp_model import (
+    BoundMode,
+    FloatingPointModel,
+    FP32_MODEL,
+    FP64_MODEL,
+    gamma,
+    gamma_tilde,
+    probabilistic_confidence,
+)
+from repro.bounds.templates import (
+    BoundContext,
+    bound_for_operator,
+    has_bound_template,
+    list_bound_templates,
+    register_bound_template,
+)
+from repro.bounds.coexec import BoundedExecution, BoundInterpreter
+
+__all__ = [
+    "BoundMode",
+    "FloatingPointModel",
+    "FP32_MODEL",
+    "FP64_MODEL",
+    "gamma",
+    "gamma_tilde",
+    "probabilistic_confidence",
+    "BoundContext",
+    "bound_for_operator",
+    "has_bound_template",
+    "list_bound_templates",
+    "register_bound_template",
+    "BoundedExecution",
+    "BoundInterpreter",
+]

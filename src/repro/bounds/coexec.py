@@ -1,0 +1,157 @@
+"""Co-execution of values and theoretical error bounds (paper Sec. 3.1).
+
+The :class:`BoundInterpreter` walks a traced graph exactly like the ordinary
+:class:`~repro.graph.interpreter.Interpreter`, but additionally evaluates the
+per-operator bound template for every ``call_op`` node, yielding a same-shape
+``tau_theo`` envelope per operator.  Bounds are *not* propagated across
+operator boundaries: every operator's inputs are treated as exact, matching
+the paper's "turn composition into localization" design.
+
+Values are computed in FP32 on the requested device; bound arithmetic runs in
+FP64 (the paper does the same), and the numerical error of computing the
+bounds themselves is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.bounds.fp_model import BoundMode, FloatingPointModel, FP32_MODEL
+from repro.bounds.templates import BoundContext, bound_for_operator
+from repro.graph.graph import GraphModule
+from repro.graph.node import Node
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DeviceProfile, REFERENCE_DEVICE
+
+
+@dataclass
+class BoundedExecution:
+    """Result of a bounded run: per-node values and per-operator tau_theo."""
+
+    device_name: str
+    mode: BoundMode
+    outputs: Tuple[np.ndarray, ...]
+    output_names: Tuple[str, ...]
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    bounds: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def output(self) -> np.ndarray:
+        if len(self.outputs) != 1:
+            raise ValueError(f"graph has {len(self.outputs)} outputs; use .outputs")
+        return self.outputs[0]
+
+    def bound(self, node_name: str) -> np.ndarray:
+        try:
+            return self.bounds[node_name]
+        except KeyError:
+            raise KeyError(f"no bound recorded for node {node_name!r}") from None
+
+    def mean_bound_by_operator_type(self, graph_module: GraphModule) -> Dict[str, float]:
+        """Mean absolute bound per operator type — the Fig. 3 statistic."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for node in graph_module.graph.operators:
+            if node.name not in self.bounds:
+                continue
+            tau = self.bounds[node.name]
+            sums[node.target] = sums.get(node.target, 0.0) + float(np.abs(tau).mean())
+            counts[node.target] = counts.get(node.target, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}
+
+
+class BoundInterpreter:
+    """Executes a GraphModule while co-computing theoretical error bounds."""
+
+    def __init__(
+        self,
+        device: DeviceProfile = REFERENCE_DEVICE,
+        mode: BoundMode = BoundMode.PROBABILISTIC,
+        fp_model: FloatingPointModel = FP32_MODEL,
+    ) -> None:
+        self.device = device
+        self.ctx = BoundContext(fp=fp_model, mode=mode)
+
+    def run(
+        self,
+        graph_module: GraphModule,
+        inputs: Dict[str, np.ndarray],
+        record_values: bool = True,
+        only_operators: Optional[set] = None,
+    ) -> BoundedExecution:
+        """Run ``graph_module`` and compute tau_theo for (a subset of) operators.
+
+        ``only_operators`` optionally restricts bound computation to the given
+        node names — used at the dispute leaf where only one operator's bound
+        is required.
+        """
+        graph = graph_module.graph
+        missing = [n for n in graph_module.input_names if n not in inputs]
+        if missing:
+            raise ValueError(f"missing graph inputs: {missing}")
+
+        env: Dict[str, np.ndarray] = {}
+        bounds: Dict[str, np.ndarray] = {}
+
+        for node in graph.nodes:
+            if node.op == "placeholder":
+                value = np.asarray(inputs[node.name])
+            elif node.op == "get_param":
+                value = np.asarray(graph_module.parameters[node.target])
+            elif node.op == "constant":
+                value = np.asarray(graph.constants[node.target])
+            elif node.op == "call_op":
+                spec = get_op(node.target)
+                args = [self._resolve(arg, env) for arg in node.args]
+                value = spec.forward(self.device, *args, **node.kwargs)
+                if only_operators is None or node.name in only_operators:
+                    bounds[node.name] = bound_for_operator(
+                        self.ctx, node.target, value, args, node.kwargs
+                    )
+            elif node.op == "output":
+                continue
+            else:  # pragma: no cover - Node validates op kinds
+                raise ValueError(f"unknown node op {node.op!r}")
+            env[node.name] = value
+
+        output_node = graph.output_node
+        output_names = tuple(arg.name for arg in output_node.args if isinstance(arg, Node))
+        outputs = tuple(env[name] for name in output_names)
+        values = env if record_values else {name: env[name] for name in output_names}
+        return BoundedExecution(
+            device_name=self.device.name,
+            mode=self.ctx.mode,
+            outputs=outputs,
+            output_names=output_names,
+            values=values,
+            bounds=bounds,
+        )
+
+    def bound_single_operator(
+        self,
+        graph_module: GraphModule,
+        operator_name: str,
+        operand_values,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference value and tau_theo for one operator on given operands.
+
+        This is the Phase 3 theoretical-bound check primitive: the committed
+        operator attributes come from the graph, the operand tensors from the
+        agreed dispute state; the returned pair is (y_ref, tau_theo).
+        """
+        node = graph_module.graph.node(operator_name)
+        if not node.is_operator:
+            raise ValueError(f"{operator_name!r} is not an operator node")
+        spec = get_op(node.target)
+        value = spec.forward(self.device, *operand_values, **node.kwargs)
+        tau = bound_for_operator(self.ctx, node.target, value, operand_values, node.kwargs)
+        return value, tau
+
+    @staticmethod
+    def _resolve(arg: Any, env: Dict[str, np.ndarray]) -> Any:
+        if isinstance(arg, Node):
+            return env[arg.name]
+        return arg

@@ -1,0 +1,120 @@
+"""The IEEE-754 rounding model and reduction error factors (Appendix A).
+
+The standard model: for basic operations ``o`` in ``{+, -, *, /}``,
+``fl(x o y) = (x o y)(1 + delta)`` with ``|delta| <= u`` where ``u`` is the
+unit roundoff (``2^-24`` for float32).  Products of ``(1 + delta)`` terms are
+bounded deterministically by ``gamma_k = k*u / (1 - k*u)`` and
+probabilistically by ``gamma_tilde_k(lambda) = exp(lambda*sqrt(k)*u +
+k*u^2/(1-u)) - 1``, which holds with probability at least
+``1 - 2*exp(-lambda^2 (1-u)^2 / 2)`` under independent mean-zero roundoffs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class BoundMode(str, Enum):
+    """Which reduction-error factor to apply."""
+
+    DETERMINISTIC = "deterministic"
+    PROBABILISTIC = "probabilistic"
+
+
+@dataclass(frozen=True)
+class FloatingPointModel:
+    """Floating-point format parameters used for bound computation.
+
+    ``unit_roundoff`` is machine epsilon divided by two; ``lambda_`` is the
+    probabilistic bound's confidence knob (the paper fixes ``lambda = 4``).
+    """
+
+    name: str
+    unit_roundoff: float
+    lambda_: float = 4.0
+
+    @property
+    def u(self) -> float:
+        return self.unit_roundoff
+
+    def gamma(self, k: int) -> float:
+        """Deterministic worst-case factor ``gamma_k = k*u / (1 - k*u)``."""
+        return gamma(k, self.unit_roundoff)
+
+    def gamma_tilde(self, k: int) -> float:
+        """Probabilistic factor ``gamma_tilde_k(lambda)`` at this model's lambda."""
+        return gamma_tilde(k, self.unit_roundoff, self.lambda_)
+
+    def reduction_factor(self, k: int, mode: BoundMode) -> float:
+        """Error factor for a length-``k`` chain of roundings under ``mode``."""
+        if mode is BoundMode.DETERMINISTIC:
+            return self.gamma(k)
+        if mode is BoundMode.PROBABILISTIC:
+            return self.gamma_tilde(k)
+        raise ValueError(f"unknown bound mode {mode!r}")
+
+    def confidence(self) -> float:
+        """Probability with which the probabilistic bounds hold."""
+        return probabilistic_confidence(self.lambda_, self.unit_roundoff)
+
+
+def gamma(k: int, u: float) -> float:
+    """``gamma_k = k*u / (1 - k*u)``, valid while ``k*u < 1``.
+
+    For pathological ``k*u >= 1`` (far beyond any realistic tensor dimension
+    for FP32) the bound degenerates; we saturate to a large-but-finite value
+    so downstream arithmetic never sees infinities.
+    """
+    if k <= 0:
+        return 0.0
+    ku = k * u
+    if ku >= 1.0:
+        return float(1e30)
+    return ku / (1.0 - ku)
+
+
+def gamma_tilde(k: int, u: float, lambda_: float) -> float:
+    """Probabilistic factor ``exp(lambda*sqrt(k)*u + k*u^2/(1-u)) - 1``.
+
+    First-order this is ``lambda * sqrt(k) * u`` — markedly tighter than the
+    deterministic ``k*u`` for large reductions, which is why the paper adopts
+    it for the leaf-level theoretical check.
+    """
+    if k <= 0:
+        return 0.0
+    exponent = lambda_ * math.sqrt(k) * u + k * u * u / (1.0 - u)
+    if exponent >= 0.5:
+        # exp(t) <= 1/(1-t) only holds for t < 1; saturate conservatively.
+        return float(math.expm1(min(exponent, 30.0)))
+    return float(math.expm1(exponent))
+
+
+def probabilistic_confidence(lambda_: float, u: float) -> float:
+    """``P(lambda) = 1 - 2*exp(-lambda^2 (1-u)^2 / 2)``."""
+    return 1.0 - 2.0 * math.exp(-(lambda_ ** 2) * (1.0 - u) ** 2 / 2.0)
+
+
+#: IEEE-754 binary32 with round-to-nearest-even; the execution precision.
+FP32_MODEL = FloatingPointModel(name="float32", unit_roundoff=2.0 ** -24)
+
+#: IEEE-754 binary64; used for the bound arithmetic itself (and the reference).
+FP64_MODEL = FloatingPointModel(name="float64", unit_roundoff=2.0 ** -53)
+
+#: Maximum-ULP error assumptions for library intrinsics, loosely following the
+#: CUDA math API accuracy tables the paper cites: each entry is the assumed
+#: worst-case error of the vendor intrinsic in units of the result's ULP.
+INTRINSIC_ULP = {
+    "exp": 2.0,
+    "log": 1.0,
+    "sin": 2.0,
+    "cos": 2.0,
+    "tanh": 2.0,
+    "sigmoid": 3.0,
+    "erf": 2.0,
+    "sqrt": 0.5,
+    "rsqrt": 2.0,
+    "pow": 4.0,
+    "div": 0.5,
+}

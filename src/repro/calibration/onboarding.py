@@ -1,0 +1,151 @@
+"""Onboarding new device configurations (paper Sec. 7, "Onboarding new configurations").
+
+A new device, kernel stack or library version may shift floating-point
+behaviour outside the previously committed empirical thresholds, causing
+*benign* disputes: the execution is faithful, but its rounding profile was
+never calibrated.  The paper's mitigation is operational: detect the benign
+drift, treat it as an onboarding event, and publish updated thresholds for
+the new configuration class (a new commitment root, so the update itself is
+auditable).
+
+This module implements that workflow:
+
+* :func:`detect_configuration_drift` — run a candidate device against an
+  incumbent device on probe inputs and report which operators exceed the
+  committed thresholds (i.e. whether faithful executions on the candidate
+  would be disputed under the current commitment);
+* :func:`onboard_device` — re-calibrate with the candidate device included
+  and produce an updated :class:`~repro.calibration.thresholds.ThresholdTable`
+  plus a summary of how much each operator's thresholds widened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration.calibrator import CalibrationConfig, CalibrationResult, Calibrator
+from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.interpreter import Interpreter
+from repro.tensorlib.device import DeviceProfile
+
+
+@dataclass
+class DriftReport:
+    """Outcome of probing a candidate device against committed thresholds."""
+
+    candidate: str
+    incumbent: str
+    probes: int
+    checked_operators: int
+    exceedances: List[ExceedanceReport] = field(default_factory=list)
+
+    @property
+    def offending_operators(self) -> List[str]:
+        return sorted({report.node_name for report in self.exceedances})
+
+    @property
+    def exceedance_fraction(self) -> float:
+        if self.checked_operators == 0:
+            return 0.0
+        return len(self.offending_operators) / self.checked_operators
+
+    @property
+    def worst_ratio(self) -> float:
+        return max((r.max_ratio for r in self.exceedances), default=0.0)
+
+    @property
+    def within_committed_thresholds(self) -> bool:
+        return not self.exceedances
+
+    def requires_onboarding(self) -> bool:
+        """True when the candidate configuration cannot serve under the current
+        commitment: its faithful executions would be disputed.  Whether the
+        drift is *benign* is a policy decision (the configuration must be
+        declared and calibrated as its own class, per the paper's discussion);
+        numerically it is indistinguishable from an undeclared approximation.
+        """
+        return bool(self.exceedances)
+
+
+def detect_configuration_drift(
+    graph_module: GraphModule,
+    thresholds: ThresholdTable,
+    candidate_device: DeviceProfile,
+    incumbent_device: DeviceProfile,
+    probe_inputs: Iterable[Dict[str, np.ndarray]],
+) -> DriftReport:
+    """Probe a candidate device configuration against the committed thresholds."""
+    candidate = Interpreter(candidate_device)
+    incumbent = Interpreter(incumbent_device)
+    exceedances: List[ExceedanceReport] = []
+    probes = 0
+    checked: set = set()
+    for inputs in probe_inputs:
+        probes += 1
+        candidate_trace = candidate.run(graph_module, dict(inputs), record=True)
+        incumbent_trace = incumbent.run(graph_module, dict(inputs), record=True)
+        for name in thresholds.operator_names():
+            checked.add(name)
+            report = thresholds.check(name, candidate_trace.values[name],
+                                      incumbent_trace.values[name])
+            if report.exceeded:
+                exceedances.append(report)
+    return DriftReport(
+        candidate=candidate_device.name,
+        incumbent=incumbent_device.name,
+        probes=probes,
+        checked_operators=len(checked),
+        exceedances=exceedances,
+    )
+
+
+@dataclass
+class OnboardingResult:
+    """Updated calibration artifacts after admitting a new device."""
+
+    updated_calibration: CalibrationResult
+    updated_thresholds: ThresholdTable
+    widened_operators: Dict[str, float]
+
+    @property
+    def max_widening(self) -> float:
+        return max(self.widened_operators.values(), default=1.0)
+
+
+def onboard_device(
+    graph_module: GraphModule,
+    previous_thresholds: ThresholdTable,
+    fleet: Sequence[DeviceProfile],
+    new_device: DeviceProfile,
+    calibration_inputs: Iterable[Dict[str, np.ndarray]],
+    alpha: Optional[float] = None,
+) -> OnboardingResult:
+    """Re-calibrate with ``new_device`` included and build updated thresholds.
+
+    Returns the new calibration, the new threshold table (same safety factor
+    as the previous one unless overridden), and the per-operator widening
+    factor max(new p100 threshold / old p100 threshold, 1).
+    """
+    devices = tuple(fleet) + (new_device,)
+    calibrator = Calibrator(CalibrationConfig(devices=devices))
+    calibration = calibrator.calibrate(graph_module, calibration_inputs)
+    effective_alpha = previous_thresholds.alpha if alpha is None else float(alpha)
+    updated = ThresholdTable.from_calibration(calibration, alpha=effective_alpha)
+
+    widened: Dict[str, float] = {}
+    for name in updated.operator_names():
+        if not previous_thresholds.has_operator(name):
+            widened[name] = float("inf")
+            continue
+        old = float(previous_thresholds.abs_threshold(name)[-1])
+        new = float(updated.abs_threshold(name)[-1])
+        widened[name] = max(new / max(old, 1e-30), 1.0)
+    return OnboardingResult(
+        updated_calibration=calibration,
+        updated_thresholds=updated,
+        widened_operators=widened,
+    )

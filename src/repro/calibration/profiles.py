@@ -1,0 +1,139 @@
+"""Percentile-profile data structures.
+
+A :class:`PercentileProfile` is the percentile-value vector of one error
+tensor over the calibration grid ``P`` (Eqs. 3-4 in the paper); an
+:class:`OperatorCalibration` aggregates the per-(device pair, sample)
+profiles of one operator together with their max-envelope (Eqs. 5-6) and the
+summary statistics used by the attack-headroom and heatmap experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The paper's percentile grid P = {0, 1, 5, 10, 15, ..., 90, 95, 99, 100}.
+PERCENTILE_GRID: Tuple[float, ...] = tuple(
+    [0.0, 1.0] + [float(p) for p in range(5, 95, 5)] + [95.0, 99.0, 100.0]
+)
+
+#: Small constant protecting the relative-error denominator (Eq. 2).
+RELATIVE_ERROR_EPSILON = 1e-12
+
+
+def percentile_profile(errors: np.ndarray,
+                       grid: Sequence[float] = PERCENTILE_GRID) -> np.ndarray:
+    """Percentile-value vector of ``errors`` (flattened) over ``grid``."""
+    flat = np.asarray(errors, dtype=np.float64).ravel()
+    if flat.size == 0:
+        return np.zeros(len(grid), dtype=np.float64)
+    return np.percentile(flat, list(grid)).astype(np.float64)
+
+
+def elementwise_errors(a: np.ndarray, b: np.ndarray,
+                       epsilon: float = RELATIVE_ERROR_EPSILON
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-wise absolute and relative errors between two tensors (Eqs. 1-2)."""
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    abs_err = np.abs(a64 - b64)
+    rel_err = abs_err / (np.abs(a64) + epsilon)
+    return abs_err, rel_err
+
+
+@dataclass
+class PercentileProfile:
+    """Absolute + relative percentile-value vectors over the grid."""
+
+    grid: Tuple[float, ...]
+    abs_values: np.ndarray
+    rel_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.abs_values = np.asarray(self.abs_values, dtype=np.float64)
+        self.rel_values = np.asarray(self.rel_values, dtype=np.float64)
+        if self.abs_values.shape != (len(self.grid),) or self.rel_values.shape != (len(self.grid),):
+            raise ValueError("profile vectors must match the percentile grid length")
+
+    @classmethod
+    def from_errors(cls, abs_err: np.ndarray, rel_err: np.ndarray,
+                    grid: Sequence[float] = PERCENTILE_GRID) -> "PercentileProfile":
+        return cls(tuple(grid), percentile_profile(abs_err, grid),
+                   percentile_profile(rel_err, grid))
+
+    def max_with(self, other: "PercentileProfile") -> "PercentileProfile":
+        """Pointwise maximum (the envelope combination of Eqs. 5-6)."""
+        if self.grid != other.grid:
+            raise ValueError("cannot combine profiles over different grids")
+        return PercentileProfile(
+            self.grid,
+            np.maximum(self.abs_values, other.abs_values),
+            np.maximum(self.rel_values, other.rel_values),
+        )
+
+    def scaled(self, alpha: float) -> "PercentileProfile":
+        return PercentileProfile(self.grid, alpha * self.abs_values, alpha * self.rel_values)
+
+    def value_at(self, percentile: float, kind: str = "abs") -> float:
+        values = self.abs_values if kind == "abs" else self.rel_values
+        try:
+            index = self.grid.index(float(percentile))
+        except ValueError:
+            raise KeyError(f"percentile {percentile} not on grid") from None
+        return float(values[index])
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        return {
+            "grid": list(self.grid),
+            "abs": self.abs_values.tolist(),
+            "rel": self.rel_values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, List[float]]) -> "PercentileProfile":
+        return cls(tuple(payload["grid"]), np.asarray(payload["abs"]),
+                   np.asarray(payload["rel"]))
+
+
+@dataclass
+class OperatorCalibration:
+    """All calibration data gathered for a single operator node.
+
+    ``per_sample_profiles`` holds, for each calibration input (in order), the
+    max-over-device-pairs profile for that input — this is the sequence the
+    Appendix-B stability diagnostics analyse.  ``envelope`` is the max over
+    all pairs and samples (Eqs. 5-6).
+    """
+
+    node_name: str
+    op_type: str
+    position: int
+    envelope: PercentileProfile
+    per_sample_profiles: List[PercentileProfile] = field(default_factory=list)
+    mean_abs_error: float = 0.0
+    mean_rel_error: float = 0.0
+    max_abs_error: float = 0.0
+    num_pairs: int = 0
+    num_samples: int = 0
+
+    def sample_series(self, percentile: float, kind: str = "abs") -> np.ndarray:
+        """Per-sample sequence y_{i,p,t} for one percentile (stability input)."""
+        return np.asarray(
+            [profile.value_at(percentile, kind) for profile in self.per_sample_profiles],
+            dtype=np.float64,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "node_name": self.node_name,
+            "op_type": self.op_type,
+            "position": self.position,
+            "envelope": self.envelope.to_dict(),
+            "mean_abs_error": self.mean_abs_error,
+            "mean_rel_error": self.mean_rel_error,
+            "max_abs_error": self.max_abs_error,
+            "num_pairs": self.num_pairs,
+            "num_samples": self.num_samples,
+        }

@@ -1,0 +1,196 @@
+"""Stability diagnostics for empirical percentile profiles (paper Appendix B).
+
+Given the per-sample sequence ``y_{i,p,t}`` of an operator's percentile value
+as calibration samples accrue, four diagnostics quantify whether the running
+median estimate has stabilized:
+
+* **SupNorm** (D1): worst symmetric relative drift of the running median over
+  the last ``W`` steps;
+* **Jackknife** (D2): maximum leave-one-out influence of any single sample;
+* **TailAdj** (D3): largest single-step adjustment of the running median over
+  the last ``W`` steps;
+* **RollSD** (D4): standard deviation of length-``W`` rolling-window medians,
+  normalized by the point estimate.
+
+Table 1 reports, per model and per percentile, the median (@50) and upper
+decile (@90) of each diagnostic across operators, normalized by each metric's
+median — :func:`stability_summary` reproduces that aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_WINDOW = 10
+DEFAULT_EPSILON = 1e-12
+
+
+def symmetric_relative_change(a: float, b: float, epsilon: float = DEFAULT_EPSILON) -> float:
+    """``delta(a, b) = 2|a - b| / (|a| + |b| + eps)`` (Eq. 38)."""
+    return 2.0 * abs(a - b) / (abs(a) + abs(b) + epsilon)
+
+
+def running_median(values: Sequence[float]) -> np.ndarray:
+    """Running median ``theta~(k) = median(y_1..y_k)`` for k = 1..n (Eq. 37)."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty(values.shape[0], dtype=np.float64)
+    for k in range(1, values.shape[0] + 1):
+        out[k - 1] = np.median(values[:k])
+    return out
+
+
+def sup_norm_drift(values: Sequence[float], window: int = DEFAULT_WINDOW,
+                   epsilon: float = DEFAULT_EPSILON) -> float:
+    """D1: max symmetric relative change of the running median over the last W steps."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 2:
+        return 0.0
+    medians = running_median(values)
+    final = medians[-1]
+    window = min(window, n - 1)
+    changes = [
+        symmetric_relative_change(final, medians[k], epsilon)
+        for k in range(n - 1 - window, n - 1)
+    ]
+    return float(max(changes)) if changes else 0.0
+
+
+def jackknife_influence(values: Sequence[float], epsilon: float = DEFAULT_EPSILON) -> float:
+    """D2: maximum leave-one-out influence on the median, in relative units."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 2:
+        return 0.0
+    point = float(np.median(values))
+    worst = 0.0
+    for t in range(n):
+        loo = np.delete(values, t)
+        influence = abs(float(np.median(loo)) - point) / (abs(point) + epsilon)
+        worst = max(worst, influence)
+    return float(worst)
+
+
+def tail_adjustment(values: Sequence[float], window: int = DEFAULT_WINDOW,
+                    epsilon: float = DEFAULT_EPSILON) -> float:
+    """D3: largest single-step running-median adjustment over the last W steps."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < 2:
+        return 0.0
+    medians = running_median(values)
+    point = medians[-1]
+    window = min(window, n - 1)
+    steps = [
+        abs(medians[k + 1] - medians[k]) / (abs(point) + epsilon)
+        for k in range(n - 1 - window, n - 1)
+    ]
+    return float(max(steps)) if steps else 0.0
+
+
+def rolling_sd(values: Sequence[float], window: int = DEFAULT_WINDOW,
+               epsilon: float = DEFAULT_EPSILON) -> float:
+    """D4: standard deviation of length-W window medians, relative to the estimate."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n < window or window < 1:
+        return 0.0
+    point = float(np.median(values))
+    window_medians = [
+        float(np.median(values[k - window:k])) for k in range(window, n + 1)
+    ]
+    if len(window_medians) < 2:
+        return 0.0
+    return float(np.std(window_medians, ddof=1)) / (abs(point) + epsilon)
+
+
+def global_drift(series_by_percentile: Dict[float, Sequence[float]],
+                 window: int = DEFAULT_WINDOW, epsilon: float = DEFAULT_EPSILON) -> float:
+    """Worst-case short-horizon drift across percentiles for one operator (Eq. 43)."""
+    drifts = [
+        sup_norm_drift(series, window, epsilon)
+        for series in series_by_percentile.values()
+    ]
+    return float(max(drifts)) if drifts else 0.0
+
+
+@dataclass
+class StabilitySummary:
+    """Aggregated diagnostics at one percentile: @50 / @90 across operators.
+
+    Values are normalized by the across-operator median of each metric (as in
+    Table 1), so a perfectly stable fleet reports @50 close to 0 (or 1 for
+    metrics whose median is nonzero) and small @90 values.
+    """
+
+    percentile: float
+    sup_norm_at50: float
+    sup_norm_at90: float
+    jackknife_at50: float
+    jackknife_at90: float
+    tail_adj_at50: float
+    tail_adj_at90: float
+    roll_sd_at50: float
+    roll_sd_at90: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "percentile": self.percentile,
+            "SupNorm@50": self.sup_norm_at50,
+            "SupNorm@90": self.sup_norm_at90,
+            "Jackknife@50": self.jackknife_at50,
+            "Jackknife@90": self.jackknife_at90,
+            "TailAdj@50": self.tail_adj_at50,
+            "TailAdj@90": self.tail_adj_at90,
+            "RollSD@50": self.roll_sd_at50,
+            "RollSD@90": self.roll_sd_at90,
+        }
+
+
+def stability_summary(
+    series_by_operator: Dict[str, Sequence[float]],
+    percentile: float,
+    window: int = DEFAULT_WINDOW,
+) -> StabilitySummary:
+    """Compute the Table 1 row for one percentile.
+
+    ``series_by_operator`` maps operator names to their per-sample percentile
+    sequences at the requested percentile.
+    """
+    sup_norms: List[float] = []
+    jackknifes: List[float] = []
+    tail_adjs: List[float] = []
+    roll_sds: List[float] = []
+    for series in series_by_operator.values():
+        arr = np.asarray(series, dtype=np.float64)
+        arr = arr[np.isfinite(arr)]
+        if arr.size < 2:
+            continue
+        sup_norms.append(sup_norm_drift(arr, window))
+        jackknifes.append(jackknife_influence(arr))
+        tail_adjs.append(tail_adjustment(arr, window))
+        roll_sds.append(rolling_sd(arr, window))
+
+    def quantiles(values: List[float]) -> Tuple[float, float]:
+        # The diagnostics are already scale-free relative quantities, so the
+        # Table 1 columns are simply their median (@50) and upper decile
+        # (@90) across operators.
+        if not values:
+            return 0.0, 0.0
+        arr = np.asarray(values, dtype=np.float64)
+        return float(np.median(arr)), float(np.percentile(arr, 90))
+
+    sup50, sup90 = quantiles(sup_norms)
+    jk50, jk90 = quantiles(jackknifes)
+    ta50, ta90 = quantiles(tail_adjs)
+    rs50, rs90 = quantiles(roll_sds)
+    return StabilitySummary(
+        percentile=percentile,
+        sup_norm_at50=sup50, sup_norm_at90=sup90,
+        jackknife_at50=jk50, jackknife_at90=jk90,
+        tail_adj_at50=ta50, tail_adj_at90=ta90,
+        roll_sd_at50=rs50, roll_sd_at90=rs90,
+    )

@@ -1,0 +1,43 @@
+"""Operator-granular dataflow graph: the reproduction's PyTorch-FX analogue.
+
+The paper serializes a PyTorch model into "an acyclic dataflow graph
+G = (V, E) with a canonical topological order, where each node denotes a
+tensor operator" (Sec. 2.2) and later extracts, commits to, and re-executes
+contiguous subgraphs during disputes (Sec. 5.2).  This subpackage provides
+that machinery:
+
+* :class:`~repro.graph.node.Node` / :class:`~repro.graph.graph.Graph` — the
+  graph IR with a canonical topological order;
+* :class:`~repro.graph.module.Module` / ``Parameter`` — a tiny ``nn.Module``
+  analogue used by the model zoo;
+* :class:`~repro.graph.tracer.Tracer` — concrete tracing: running a module's
+  ``forward`` on proxy values records one node per primitive operator;
+* :class:`~repro.graph.interpreter.Interpreter` — executes a graph (or an
+  extracted subgraph) on a simulated device, optionally recording the full
+  intermediate trace and FLOP counts;
+* :mod:`~repro.graph.subgraph` — live-in/live-out cut sets and contiguous
+  slice extraction used by the dispute game.
+"""
+
+from repro.graph.node import Node
+from repro.graph.graph import Graph, GraphModule
+from repro.graph.module import Module, Parameter
+from repro.graph.tracer import Tracer, trace_module
+from repro.graph.interpreter import ExecutionTrace, Interpreter
+from repro.graph.subgraph import SubgraphSlice, extract_subgraph, live_in, live_out
+
+__all__ = [
+    "Node",
+    "Graph",
+    "GraphModule",
+    "Module",
+    "Parameter",
+    "Tracer",
+    "trace_module",
+    "ExecutionTrace",
+    "Interpreter",
+    "SubgraphSlice",
+    "extract_subgraph",
+    "live_in",
+    "live_out",
+]

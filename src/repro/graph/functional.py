@@ -1,0 +1,295 @@
+"""Functional operator API used by model ``forward`` methods.
+
+Each function corresponds to one registered operator.  When called during
+tracing the call is recorded as a graph node (and evaluated concretely on the
+tracer's device); when called outside tracing it simply executes eagerly on
+the FP64-reference device, which makes the functions convenient for unit
+tests and for building constants at model-construction time.
+
+The convention mirrors the operator registry: tensors are positional,
+attributes are keywords.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.tracer import Proxy, current_tracer
+from repro.ops.registry import get_op
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+
+def _apply(op_name: str, tensor_args: Sequence[Any], attrs: Dict[str, Any]):
+    tracer = current_tracer()
+    if tracer is not None:
+        return tracer.create_proxy(op_name, tensor_args, attrs)
+    spec = get_op(op_name)
+    values = [a.value if isinstance(a, Proxy) else a for a in tensor_args]
+    return spec.forward(REFERENCE_DEVICE, *values, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a, b):
+    return _apply("add", [a, b], {})
+
+
+def sub(a, b):
+    return _apply("sub", [a, b], {})
+
+
+def mul(a, b):
+    return _apply("mul", [a, b], {})
+
+
+def div(a, b):
+    return _apply("div", [a, b], {})
+
+
+def pow(a, *, exponent: float):  # noqa: A001 - mirrors torch.pow naming
+    return _apply("pow", [a], {"exponent": float(exponent)})
+
+
+def neg(a):
+    return _apply("neg", [a], {})
+
+
+def abs(a):  # noqa: A001 - mirrors torch.abs naming
+    return _apply("abs", [a], {})
+
+
+def maximum(a, b):
+    return _apply("maximum", [a, b], {})
+
+
+def minimum(a, b):
+    return _apply("minimum", [a, b], {})
+
+
+def sqrt(a):
+    return _apply("sqrt", [a], {})
+
+
+def rsqrt(a):
+    return _apply("rsqrt", [a], {})
+
+
+def exp(a):
+    return _apply("exp", [a], {})
+
+
+def log(a):
+    return _apply("log", [a], {})
+
+
+def sin(a):
+    return _apply("sin", [a], {})
+
+
+def cos(a):
+    return _apply("cos", [a], {})
+
+
+def tanh(a):
+    return _apply("tanh", [a], {})
+
+
+def sigmoid(a):
+    return _apply("sigmoid", [a], {})
+
+
+def erf(a):
+    return _apply("erf", [a], {})
+
+
+def clip(a, *, minimum: Optional[float] = None, maximum: Optional[float] = None):
+    return _apply("clip", [a], {"minimum": minimum, "maximum": maximum})
+
+
+def where(condition, a, b):
+    return _apply("where", [condition, a, b], {})
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+def relu(a):
+    return _apply("relu", [a], {})
+
+
+def leaky_relu(a, *, negative_slope: float = 0.01):
+    return _apply("leaky_relu", [a], {"negative_slope": float(negative_slope)})
+
+
+def gelu(a):
+    return _apply("gelu", [a], {})
+
+
+def silu(a):
+    return _apply("silu", [a], {})
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+def sum(a, *, axis=None, keepdims: bool = False):  # noqa: A001
+    return _apply("sum", [a], {"axis": axis, "keepdims": keepdims})
+
+
+def mean(a, *, axis=None, keepdims: bool = False):
+    return _apply("mean", [a], {"axis": axis, "keepdims": keepdims})
+
+
+def var(a, *, axis=None, keepdims: bool = False, ddof: int = 0):
+    return _apply("var", [a], {"axis": axis, "keepdims": keepdims, "ddof": ddof})
+
+
+def amax(a, *, axis=None, keepdims: bool = False):
+    return _apply("amax", [a], {"axis": axis, "keepdims": keepdims})
+
+
+def amin(a, *, axis=None, keepdims: bool = False):
+    return _apply("amin", [a], {"axis": axis, "keepdims": keepdims})
+
+
+def argmax(a, *, axis=None):
+    return _apply("argmax", [a], {"axis": axis})
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+def matmul(a, b):
+    return _apply("matmul", [a, b], {})
+
+
+def bmm(a, b):
+    return _apply("bmm", [a, b], {})
+
+
+def linear(x, weight, bias=None):
+    if bias is None:
+        return _apply("linear", [x, weight], {})
+    return _apply("linear", [x, weight, bias], {})
+
+
+# ---------------------------------------------------------------------------
+# Convolution / pooling / upsampling
+# ---------------------------------------------------------------------------
+
+def conv2d(x, weight, bias=None, *, stride=(1, 1), padding=(0, 0)):
+    attrs = {"stride": tuple(stride) if isinstance(stride, (tuple, list)) else (stride, stride),
+             "padding": tuple(padding) if isinstance(padding, (tuple, list)) else (padding, padding)}
+    if bias is None:
+        return _apply("conv2d", [x, weight], attrs)
+    return _apply("conv2d", [x, weight, bias], attrs)
+
+
+def max_pool2d(x, *, kernel_size=(2, 2), stride=None, padding=(0, 0)):
+    return _apply("max_pool2d", [x], {"kernel_size": kernel_size, "stride": stride,
+                                      "padding": padding})
+
+
+def avg_pool2d(x, *, kernel_size=(2, 2), stride=None, padding=(0, 0)):
+    return _apply("avg_pool2d", [x], {"kernel_size": kernel_size, "stride": stride,
+                                      "padding": padding})
+
+
+def adaptive_avg_pool2d(x, *, output_size=(1, 1)):
+    return _apply("adaptive_avg_pool2d", [x], {"output_size": output_size})
+
+
+def upsample_nearest(x, *, scale_factor: int = 2):
+    return _apply("upsample_nearest", [x], {"scale_factor": int(scale_factor)})
+
+
+# ---------------------------------------------------------------------------
+# Normalization / softmax
+# ---------------------------------------------------------------------------
+
+def softmax(x, *, axis: int = -1):
+    return _apply("softmax", [x], {"axis": int(axis)})
+
+
+def layer_norm(x, weight, bias, *, eps: float = 1e-5):
+    return _apply("layer_norm", [x, weight, bias], {"eps": float(eps)})
+
+
+def rms_norm(x, weight, *, eps: float = 1e-6):
+    return _apply("rms_norm", [x, weight], {"eps": float(eps)})
+
+
+def batch_norm(x, weight, bias, running_mean, running_var, *, eps: float = 1e-5):
+    return _apply("batch_norm", [x, weight, bias, running_mean, running_var],
+                  {"eps": float(eps)})
+
+
+def group_norm(x, weight, bias, *, num_groups: int, eps: float = 1e-5):
+    return _apply("group_norm", [x, weight, bias],
+                  {"num_groups": int(num_groups), "eps": float(eps)})
+
+
+# ---------------------------------------------------------------------------
+# Structural / data movement
+# ---------------------------------------------------------------------------
+
+def reshape(x, *, shape: Sequence[int]):
+    return _apply("reshape", [x], {"shape": tuple(int(s) for s in shape)})
+
+
+def flatten(x, *, start_dim: int = 0):
+    return _apply("flatten", [x], {"start_dim": int(start_dim)})
+
+
+def transpose(x, *, axis0: int, axis1: int):
+    return _apply("transpose", [x], {"axis0": int(axis0), "axis1": int(axis1)})
+
+
+def permute(x, *, dims: Sequence[int]):
+    return _apply("permute", [x], {"dims": tuple(int(d) for d in dims)})
+
+
+def expand(x, *, shape: Sequence[int]):
+    return _apply("expand", [x], {"shape": tuple(int(s) for s in shape)})
+
+
+def concat(tensors: Sequence[Any], *, axis: int = 0):
+    return _apply("concat", list(tensors), {"axis": int(axis)})
+
+
+def slice(x, *, axis: int, start: int, stop: Optional[int] = None, step: int = 1):  # noqa: A001
+    return _apply("slice", [x], {"axis": int(axis), "start": int(start),
+                                 "stop": None if stop is None else int(stop),
+                                 "step": int(step)})
+
+
+def index_select(x, indices, *, axis: int = 0):
+    return _apply("index_select", [x, indices], {"axis": int(axis)})
+
+
+def embedding(indices, weight):
+    return _apply("embedding", [indices, weight], {})
+
+
+def masked_fill(x, mask, *, value: float):
+    return _apply("masked_fill", [x, mask], {"value": float(value)})
+
+
+def dropout(x, *, p: float = 0.1):
+    return _apply("dropout", [x], {"p": float(p)})
+
+
+def pad(x, *, pad_width: Sequence[Sequence[int]], value: float = 0.0):
+    return _apply("pad", [x], {"pad_width": tuple(tuple(int(v) for v in pair) for pair in pad_width),
+                               "value": float(value)})
+
+
+def identity(x):
+    return _apply("identity", [x], {})

@@ -1,0 +1,200 @@
+"""Graph interpreter: executes a traced GraphModule on a simulated device.
+
+The interpreter is used in three places that the paper distinguishes:
+
+* the **proposer** runs the full graph on its device and records the
+  intermediate trace it later commits to;
+* the **challenger** re-executes the full graph (Phase 2 entry) and,
+  during the dispute game, re-executes extracted subgraphs from their
+  committed live-in tensors;
+* the **committee** re-executes a single operator at the leaf.
+
+All three paths go through :meth:`Interpreter.run`, so there is exactly one
+execution semantics in the system.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import GraphModule
+from repro.graph.node import Node
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DeviceProfile
+from repro.tensorlib.flops import FlopCounter
+
+
+@dataclass
+class ExecutionTrace:
+    """The result of executing a GraphModule on one device.
+
+    ``values`` maps node names to their computed tensors when the run was
+    recorded (the proposer's committed trace); it maps only output names
+    otherwise.  ``flops`` carries per-operator FLOP counts for the cost
+    accounting of Table 3.
+    """
+
+    device_name: str
+    outputs: Tuple[np.ndarray, ...]
+    output_names: Tuple[str, ...]
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    flops: FlopCounter = field(default_factory=FlopCounter)
+    wall_time_s: float = 0.0
+
+    @property
+    def output(self) -> np.ndarray:
+        """Convenience accessor for single-output graphs."""
+        if len(self.outputs) != 1:
+            raise ValueError(f"graph has {len(self.outputs)} outputs; use .outputs")
+        return self.outputs[0]
+
+    def value(self, node_name: str) -> np.ndarray:
+        try:
+            return self.values[node_name]
+        except KeyError:
+            raise KeyError(
+                f"no recorded value for node {node_name!r}; was the run recorded?"
+            ) from None
+
+    def operator_values(self, graph_module: GraphModule) -> Dict[str, np.ndarray]:
+        """Recorded values restricted to operator (call_op) nodes."""
+        return {
+            node.name: self.values[node.name]
+            for node in graph_module.graph.operators
+            if node.name in self.values
+        }
+
+
+class Interpreter:
+    """Executes GraphModules node-by-node on a :class:`DeviceProfile`."""
+
+    def __init__(self, device: DeviceProfile) -> None:
+        self.device = device
+
+    def run(
+        self,
+        graph_module: GraphModule,
+        inputs: Dict[str, np.ndarray],
+        record: bool = False,
+        count_flops: bool = False,
+        overrides: Optional[Dict[str, np.ndarray]] = None,
+        delta_overrides: Optional[Dict[str, np.ndarray]] = None,
+    ) -> ExecutionTrace:
+        """Execute ``graph_module`` on ``inputs``.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from placeholder name to tensor.  Every placeholder must
+            be provided.
+        record:
+            When True the returned trace holds every intermediate tensor
+            (the proposer's committed trace / calibration recording).
+        count_flops:
+            When True per-operator FLOPs are accumulated.
+        overrides:
+            Optional mapping ``node name -> tensor`` applied *after* the
+            node's value is computed.  This is the hook the adversarial
+            proposer uses to inject perturbations into intermediate tensors
+            (paper Sec. 4.2) and the dispute-game tests use to plant faults
+            at chosen operators.
+        delta_overrides:
+            Optional mapping ``node name -> additive perturbation``; the
+            delta is added to whatever value the node computed *during this
+            run* (so the effects of upstream perturbations compound through
+            the graph).  This is the forward used by the PGD attack, which
+            optimizes the deltas jointly across operators.
+        """
+        graph = graph_module.graph
+        missing = [n for n in graph_module.input_names if n not in inputs]
+        if missing:
+            raise ValueError(f"missing graph inputs: {missing}")
+
+        env: Dict[str, np.ndarray] = {}
+        flops = FlopCounter()
+        overrides = overrides or {}
+        delta_overrides = delta_overrides or {}
+        start = time.perf_counter()
+
+        for node in graph.nodes:
+            if node.op == "placeholder":
+                value = np.asarray(inputs[node.name])
+            elif node.op == "get_param":
+                value = np.asarray(graph_module.parameters[node.target])
+            elif node.op == "constant":
+                value = np.asarray(graph.constants[node.target])
+            elif node.op == "call_op":
+                spec = get_op(node.target)
+                args = [self._resolve(arg, env) for arg in node.args]
+                value = spec.forward(self.device, *args, **node.kwargs)
+                if count_flops:
+                    flops.add(node.target, spec.estimate_flops(value, *args, **node.kwargs))
+            elif node.op == "output":
+                continue
+            else:  # pragma: no cover - Node validates op kinds
+                raise ValueError(f"unknown node op {node.op!r}")
+
+            if node.name in overrides:
+                override = np.asarray(overrides[node.name])
+                if override.shape != np.shape(value):
+                    raise ValueError(
+                        f"override for {node.name!r} has shape {override.shape}, "
+                        f"expected {np.shape(value)}"
+                    )
+                value = override.astype(np.float32)
+            if node.name in delta_overrides:
+                delta = np.asarray(delta_overrides[node.name], dtype=np.float32)
+                if delta.shape != np.shape(value):
+                    raise ValueError(
+                        f"delta override for {node.name!r} has shape {delta.shape}, "
+                        f"expected {np.shape(value)}"
+                    )
+                value = (np.asarray(value, dtype=np.float32) + delta).astype(np.float32)
+            env[node.name] = value
+
+        output_node = graph.output_node
+        output_names = tuple(arg.name for arg in output_node.args if isinstance(arg, Node))
+        outputs = tuple(env[name] for name in output_names)
+        elapsed = time.perf_counter() - start
+
+        values: Dict[str, np.ndarray]
+        if record:
+            values = env
+        else:
+            values = {name: env[name] for name in output_names}
+        return ExecutionTrace(
+            device_name=self.device.name,
+            outputs=outputs,
+            output_names=output_names,
+            values=values,
+            flops=flops,
+            wall_time_s=elapsed,
+        )
+
+    def run_single_operator(
+        self,
+        graph_module: GraphModule,
+        operator_name: str,
+        operand_values: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Re-execute one operator of ``graph_module`` on given operand tensors.
+
+        Used by the committee at the dispute leaf: the operator's type and
+        attributes come from the committed graph, the operand tensors from
+        the agreed-upon inputs.
+        """
+        node = graph_module.graph.node(operator_name)
+        if not node.is_operator:
+            raise ValueError(f"{operator_name!r} is not an operator node")
+        spec = get_op(node.target)
+        return spec.forward(self.device, *operand_values, **node.kwargs)
+
+    @staticmethod
+    def _resolve(arg: Any, env: Dict[str, np.ndarray]) -> Any:
+        if isinstance(arg, Node):
+            return env[arg.name]
+        return arg

@@ -1,0 +1,96 @@
+"""Minimal ``nn.Module`` analogue.
+
+The model zoo (:mod:`repro.models`) defines networks as trees of
+:class:`Module` objects whose ``forward`` methods call the functional API in
+:mod:`repro.graph.functional`.  Assigning a :class:`Parameter` or a
+:class:`Module` to an attribute registers it automatically, and
+``named_parameters`` yields qualified names (``"block1.conv.weight"``) that
+become the leaves of the weight Merkle tree.
+
+Buffers (e.g. batch-norm running statistics, rotary-embedding caches) are
+registered the same way as parameters: the paper commits the entire
+``state_dict``, so anything the forward pass reads from model state must be
+covered by the weight commitment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+
+class Parameter(np.ndarray):
+    """A named tensor owned by a module (weight, bias, or persistent buffer)."""
+
+    def __new__(cls, data, dtype=np.float32) -> "Parameter":
+        arr = np.asarray(data, dtype=dtype)
+        return arr.view(cls)
+
+
+class Module:
+    """Base class for model components.
+
+    Subclasses implement ``forward(*inputs)`` in terms of the functional API;
+    they never execute kernels directly, so the same definition serves both
+    tracing and (re-)execution on any simulated device.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: np.ndarray, dtype=np.float32) -> Parameter:
+        param = value if isinstance(value, Parameter) else Parameter(value, dtype=dtype)
+        setattr(self, name, param)
+        return param
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        setattr(self, name, module)
+        return module
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs in deterministic order."""
+        for name in sorted(self._parameters):
+            qualified = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            yield qualified, self._parameters[name]
+        for name in sorted(self._modules):
+            child_prefix = name if not prefix else f"{prefix}.{name}"
+            yield from self._modules[name].named_parameters(child_prefix)
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name in sorted(self._modules):
+            child_prefix = name if not prefix else f"{prefix}.{name}"
+            yield from self._modules[name].named_modules(child_prefix)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: np.asarray(param) for name, param in self.named_parameters()}
+
+    def num_parameters(self) -> int:
+        return int(sum(np.asarray(p).size for _, p in self.named_parameters()))
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def forward(self, *inputs):  # pragma: no cover - abstract
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *inputs):
+        return self.forward(*inputs)

@@ -1,0 +1,100 @@
+"""Graph node IR.
+
+A :class:`Node` is one vertex of the traced dataflow graph.  Node kinds
+mirror the paper's graph representation:
+
+* ``placeholder`` — a model input tensor;
+* ``get_param``  — a reference to a committed weight tensor (by qualified
+  name into the weight Merkle tree);
+* ``constant``   — a traced-in literal tensor (e.g. a causal mask);
+* ``call_op``    — a primitive tensor operator (the unit of dispute);
+* ``output``     — the graph's result tuple.
+
+Edges are implied by ``args``: any argument that is itself a :class:`Node`
+is a data dependency.  ``kwargs`` hold only static attributes (axis, stride,
+eps, ...), never tensors, so the canonical operator signature that gets
+merkleized (Sec. 5.2) is a pure function of (name, op, target, args, kwargs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """A single vertex in the traced dataflow graph."""
+
+    name: str
+    op: str
+    target: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Shape of the value this node produced during tracing (reporting only).
+    shape: Optional[Tuple[int, ...]] = None
+    #: Dtype string of the traced value (reporting only).
+    dtype: Optional[str] = None
+
+    VALID_OPS = ("placeholder", "get_param", "constant", "call_op", "output")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID_OPS:
+            raise ValueError(f"invalid node op {self.op!r}; expected one of {self.VALID_OPS}")
+
+    @property
+    def input_nodes(self) -> List["Node"]:
+        """Nodes this node depends on (flattening nested arg structures)."""
+        found: List[Node] = []
+        _collect_nodes(self.args, found)
+        return found
+
+    @property
+    def is_operator(self) -> bool:
+        """True for ``call_op`` nodes — the unit the dispute game partitions."""
+        return self.op == "call_op"
+
+    def signature_payload(self) -> Dict[str, Any]:
+        """Canonical signature content: ``(name, op, target, args, kwargs)``.
+
+        Node-valued arguments are replaced by their names so the signature
+        captures topology (edges) without embedding tensor data; this is the
+        payload hashed into the graph Merkle tree leaf.
+        """
+        return {
+            "name": self.name,
+            "op": self.op,
+            "target": self.target,
+            "args": _name_args(self.args),
+            "kwargs": {k: _name_args(v) for k, v in sorted(self.kwargs.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args_repr = ", ".join(
+            a.name if isinstance(a, Node) else repr(a) for a in self.args
+        )
+        return f"Node({self.name}: {self.op}[{self.target}]({args_repr}))"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+def _collect_nodes(value: Any, out: List[Node]) -> None:
+    if isinstance(value, Node):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_nodes(item, out)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_nodes(item, out)
+
+
+def _name_args(value: Any) -> Any:
+    if isinstance(value, Node):
+        return {"__node__": value.name}
+    if isinstance(value, (list, tuple)):
+        return [_name_args(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _name_args(v) for k, v in sorted(value.items())}
+    return value

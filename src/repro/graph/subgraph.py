@@ -1,0 +1,213 @@
+"""Cut sets and verifiable subgraph extraction (paper Sec. 5.2).
+
+A dispute round partitions the currently disputed operator range into N
+contiguous slices of the canonical topological order.  Each slice ``S`` is
+materialized as a standalone :class:`~repro.graph.graph.GraphModule` whose
+placeholders are the slice's live-in activations ``In(S)``, whose outputs are
+its live-out activations ``Out(S)``, and which reuses parameters by reference
+(each referenced parameter carries a Merkle inclusion proof into the weight
+tree).  The challenger re-executes these modules from the committed live-in
+tensors when running the selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph, GraphModule
+from repro.graph.node import Node
+
+
+@dataclass(frozen=True)
+class SubgraphSlice:
+    """A contiguous range [start, end) of operator indices in canonical order."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid slice [{self.start}, {self.end})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def split(self, n_way: int) -> List["SubgraphSlice"]:
+        """Partition into at most ``n_way`` non-empty contiguous children.
+
+        This is the proposer's *deterministic* canonical partition policy:
+        children are as equal as possible, earlier children take the extra
+        operator when the size does not divide evenly, so both parties derive
+        the same partition independently.
+        """
+        if n_way < 2:
+            raise ValueError("n_way partitions require n_way >= 2")
+        size = self.size
+        if size <= 1:
+            return [self]
+        n_children = min(n_way, size)
+        base = size // n_children
+        remainder = size % n_children
+        children: List[SubgraphSlice] = []
+        cursor = self.start
+        for i in range(n_children):
+            length = base + (1 if i < remainder else 0)
+            children.append(SubgraphSlice(cursor, cursor + length))
+            cursor += length
+        return children
+
+    def contains(self, operator_index: int) -> bool:
+        return self.start <= operator_index < self.end
+
+
+def _operator_nodes(graph: Graph, slice_: SubgraphSlice) -> List[Node]:
+    operators = graph.operators
+    if slice_.end > len(operators):
+        raise ValueError(
+            f"slice [{slice_.start}, {slice_.end}) exceeds operator count {len(operators)}"
+        )
+    return operators[slice_.start:slice_.end]
+
+
+def live_in(graph: Graph, slice_: SubgraphSlice) -> List[str]:
+    """Names of activation values produced outside the slice but consumed inside.
+
+    Parameters and constants are *not* included: they are reused by reference
+    with Merkle inclusion proofs rather than passed as boundary tensors.
+    """
+    inside: Set[str] = {node.name for node in _operator_nodes(graph, slice_)}
+    needed: List[str] = []
+    seen: Set[str] = set()
+    for node in _operator_nodes(graph, slice_):
+        for dep in node.input_nodes:
+            if dep.name in inside or dep.name in seen:
+                continue
+            if dep.op in ("get_param", "constant"):
+                continue
+            seen.add(dep.name)
+            needed.append(dep.name)
+    return needed
+
+
+def live_out(graph: Graph, slice_: SubgraphSlice) -> List[str]:
+    """Names of slice operators whose value is consumed outside the slice.
+
+    A value escapes the slice if a later operator uses it or if it feeds the
+    graph output.  The last operator of the slice is always included so that
+    every slice exposes at least one comparable output (this matches the
+    dispute game's need to compare the slice frontier even when the final
+    operator's value is only consumed further downstream).
+    """
+    operators = _operator_nodes(graph, slice_)
+    inside: Set[str] = {node.name for node in operators}
+    escaping: List[str] = []
+    for node in graph.nodes:
+        if node.name in inside:
+            continue
+        for dep in node.input_nodes:
+            if dep.name in inside and dep.name not in escaping:
+                escaping.append(dep.name)
+    if operators and operators[-1].name not in escaping:
+        escaping.append(operators[-1].name)
+    # Preserve canonical (topological) order of the escaping values.
+    order = {node.name: idx for idx, node in enumerate(graph.nodes)}
+    return sorted(escaping, key=lambda name: order[name])
+
+
+def extract_subgraph(graph_module: GraphModule, slice_: SubgraphSlice) -> GraphModule:
+    """Materialize ``slice_`` of ``graph_module`` as a standalone GraphModule.
+
+    The extracted module's placeholders are the live-in activation names (so
+    a recorded trace of the parent graph can feed it directly), its outputs
+    are the live-out activations, and its parameter dictionary is restricted
+    to parameters actually referenced inside the slice.
+    """
+    parent_graph = graph_module.graph
+    operators = _operator_nodes(parent_graph, slice_)
+    in_names = live_in(parent_graph, slice_)
+    out_names = live_out(parent_graph, slice_)
+
+    new_graph = Graph()
+    mapping: Dict[str, Node] = {}
+
+    for name in in_names:
+        parent_node = parent_graph.node(name)
+        node = Node(
+            name=name,
+            op="placeholder",
+            target=name,
+            shape=parent_node.shape,
+            dtype=parent_node.dtype,
+        )
+        new_graph.add_node(node)
+        mapping[name] = node
+
+    used_params: Dict[str, np.ndarray] = {}
+
+    def _map_arg(arg):
+        if isinstance(arg, Node):
+            if arg.name in mapping:
+                return mapping[arg.name]
+            if arg.op == "get_param":
+                clone = Node(name=arg.name, op="get_param", target=arg.target,
+                             shape=arg.shape, dtype=arg.dtype)
+                new_graph.add_node(clone)
+                mapping[arg.name] = clone
+                used_params[arg.target] = graph_module.parameters[arg.target]
+                return clone
+            if arg.op == "constant":
+                clone = Node(name=arg.name, op="constant", target=arg.target,
+                             shape=arg.shape, dtype=arg.dtype)
+                new_graph.add_node(clone)
+                new_graph.add_constant(arg.target, parent_graph.constants[arg.target])
+                mapping[arg.name] = clone
+                return clone
+            raise ValueError(
+                f"operator {arg.name!r} escapes the slice boundary unexpectedly"
+            )
+        if isinstance(arg, (list, tuple)):
+            return type(arg)(_map_arg(a) for a in arg)
+        return arg
+
+    for node in operators:
+        clone = Node(
+            name=node.name,
+            op="call_op",
+            target=node.target,
+            args=tuple(_map_arg(a) for a in node.args),
+            kwargs=dict(node.kwargs),
+            shape=node.shape,
+            dtype=node.dtype,
+        )
+        new_graph.add_node(clone)
+        mapping[node.name] = clone
+
+    output_node = Node(
+        name="output",
+        op="output",
+        target="output",
+        args=tuple(mapping[name] for name in out_names),
+    )
+    new_graph.add_node(output_node)
+
+    return GraphModule(
+        graph=new_graph,
+        parameters=used_params,
+        input_names=in_names,
+        name=f"{graph_module.name}[{slice_.start}:{slice_.end}]",
+        metadata={
+            "parent": graph_module.name,
+            "slice_start": slice_.start,
+            "slice_end": slice_.end,
+        },
+    )
+
+
+def slice_interface_names(graph_module: GraphModule,
+                          slice_: SubgraphSlice) -> Tuple[List[str], List[str]]:
+    """Return (live-in, live-out) activation names for ``slice_``."""
+    return live_in(graph_module.graph, slice_), live_out(graph_module.graph, slice_)

@@ -1,0 +1,254 @@
+"""Concrete tracing: build a Graph by running a Module on proxy values.
+
+The tracer performs *concrete* tracing (the values flow through alongside the
+symbols): every functional-API call records one ``call_op`` node and computes
+the actual tensor on the tracer's device, so model code can freely inspect
+shapes and the resulting graph is specialized to the request's input shapes —
+matching how the paper's runtime traces each inference request.
+
+Parameters are recognized by object identity: before tracing, each qualified
+parameter of the module is registered, and any functional-API argument that
+*is* one of those arrays becomes a ``get_param`` node referencing the
+parameter by its qualified name (the name that also keys the weight Merkle
+tree).  Unregistered arrays (e.g. a causal mask built at trace time) become
+``constant`` nodes stored with the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph, GraphModule
+from repro.graph.module import Module
+from repro.graph.node import Node
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DeviceProfile, REFERENCE_DEVICE
+
+_ACTIVE_TRACER: List["Tracer"] = []
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """Return the innermost active tracer, or ``None`` outside tracing."""
+    return _ACTIVE_TRACER[-1] if _ACTIVE_TRACER else None
+
+
+class Proxy:
+    """A traced value: a graph node paired with its concrete array."""
+
+    __slots__ = ("node", "value", "tracer")
+
+    def __init__(self, node: Node, value: np.ndarray, tracer: "Tracer") -> None:
+        self.node = node
+        self.value = np.asarray(value)
+        self.tracer = tracer
+
+    # -- ndarray-like conveniences used by model code -------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    @property
+    def ndim(self) -> int:
+        return self.value.ndim
+
+    @property
+    def dtype(self):
+        return self.value.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Proxy({self.node.name}, shape={self.shape})"
+
+    # -- arithmetic sugar mapping to functional ops ----------------------
+
+    def _functional(self):
+        from repro.graph import functional as F
+        return F
+
+    def __add__(self, other):
+        return self._functional().add(self, other)
+
+    def __radd__(self, other):
+        return self._functional().add(other, self)
+
+    def __sub__(self, other):
+        return self._functional().sub(self, other)
+
+    def __rsub__(self, other):
+        return self._functional().sub(other, self)
+
+    def __mul__(self, other):
+        return self._functional().mul(self, other)
+
+    def __rmul__(self, other):
+        return self._functional().mul(other, self)
+
+    def __truediv__(self, other):
+        return self._functional().div(self, other)
+
+    def __rtruediv__(self, other):
+        return self._functional().div(other, self)
+
+    def __matmul__(self, other):
+        return self._functional().matmul(self, other)
+
+    def __neg__(self):
+        return self._functional().neg(self)
+
+    def __pow__(self, exponent):
+        return self._functional().pow(self, exponent=float(exponent))
+
+
+class Tracer:
+    """Records a :class:`Graph` while executing a module on concrete inputs."""
+
+    def __init__(self, device: DeviceProfile = REFERENCE_DEVICE) -> None:
+        self.device = device
+        self.graph = Graph()
+        self._param_names_by_id: Dict[int, str] = {}
+        self._param_nodes: Dict[str, Node] = {}
+        self._constant_nodes: Dict[int, Node] = {}
+        self._parameters: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def register_parameters(self, module: Module) -> None:
+        for name, param in module.named_parameters():
+            arr = np.asarray(param)
+            self._param_names_by_id[id(param)] = name
+            self._parameters[name] = arr
+
+    def add_placeholder(self, name: str, value: np.ndarray) -> Proxy:
+        node = Node(
+            name=self.graph.fresh_name(name),
+            op="placeholder",
+            target=name,
+            shape=tuple(np.shape(value)),
+            dtype=str(np.asarray(value).dtype),
+        )
+        self.graph.add_node(node)
+        return Proxy(node, np.asarray(value), self)
+
+    # ------------------------------------------------------------------
+    # Node creation (called from the functional API)
+    # ------------------------------------------------------------------
+
+    def _node_for_argument(self, value: Any) -> Tuple[Any, Any]:
+        """Resolve a functional-API argument to (graph arg, concrete value)."""
+        if isinstance(value, Proxy):
+            return value.node, value.value
+        if isinstance(value, np.ndarray):
+            param_name = self._param_names_by_id.get(id(value))
+            if param_name is not None:
+                node = self._param_nodes.get(param_name)
+                if node is None:
+                    node = Node(
+                        name=self.graph.fresh_name(f"param::{param_name}"),
+                        op="get_param",
+                        target=param_name,
+                        shape=tuple(value.shape),
+                        dtype=str(np.asarray(value).dtype),
+                    )
+                    self.graph.add_node(node)
+                    self._param_nodes[param_name] = node
+                return node, np.asarray(value)
+            node = self._constant_nodes.get(id(value))
+            if node is None:
+                node_name = self.graph.fresh_name("const")
+                node = Node(
+                    name=node_name,
+                    op="constant",
+                    target=node_name,
+                    shape=tuple(value.shape),
+                    dtype=str(np.asarray(value).dtype),
+                )
+                self.graph.add_node(node)
+                self.graph.add_constant(node_name, np.asarray(value))
+                self._constant_nodes[id(value)] = node
+            return node, np.asarray(value)
+        if isinstance(value, (int, float, bool, np.integer, np.floating, np.bool_)):
+            return value, value
+        if value is None:
+            return None, None
+        raise TypeError(f"cannot trace argument of type {type(value)!r}")
+
+    def create_proxy(self, op_name: str, tensor_args: Sequence[Any],
+                     attrs: Dict[str, Any]) -> Proxy:
+        spec = get_op(op_name)
+        arg_nodes = []
+        arg_values = []
+        for arg in tensor_args:
+            node, value = self._node_for_argument(arg)
+            arg_nodes.append(node)
+            arg_values.append(value)
+        out_value = spec.forward(self.device, *arg_values, **attrs)
+        node = Node(
+            name=self.graph.fresh_name(op_name),
+            op="call_op",
+            target=op_name,
+            args=tuple(arg_nodes),
+            kwargs=dict(attrs),
+            shape=tuple(np.shape(out_value)),
+            dtype=str(np.asarray(out_value).dtype),
+        )
+        self.graph.add_node(node)
+        return Proxy(node, out_value, self)
+
+    # ------------------------------------------------------------------
+    # Tracing entry point
+    # ------------------------------------------------------------------
+
+    def trace(self, module: Module, inputs: Dict[str, np.ndarray],
+              name: Optional[str] = None) -> GraphModule:
+        """Trace ``module`` on concrete ``inputs`` and return a GraphModule."""
+        self.register_parameters(module)
+        input_names = list(inputs)
+        proxies = [self.add_placeholder(n, inputs[n]) for n in input_names]
+
+        _ACTIVE_TRACER.append(self)
+        try:
+            result = module.forward(*proxies)
+        finally:
+            _ACTIVE_TRACER.pop()
+
+        outputs: Tuple[Proxy, ...]
+        if isinstance(result, Proxy):
+            outputs = (result,)
+        elif isinstance(result, (list, tuple)):
+            outputs = tuple(result)
+        else:
+            raise TypeError(
+                f"module forward must return a Proxy or tuple of Proxy, got {type(result)!r}"
+            )
+        for out in outputs:
+            if not isinstance(out, Proxy):
+                raise TypeError("all traced outputs must be Proxy values")
+
+        output_node = Node(
+            name=self.graph.fresh_name("output"),
+            op="output",
+            target="output",
+            args=tuple(p.node for p in outputs),
+        )
+        self.graph.add_node(output_node)
+
+        used_params = {node.target for node in self.graph.parameters_used}
+        parameters = {k: v for k, v in self._parameters.items() if k in used_params}
+        return GraphModule(
+            graph=self.graph,
+            parameters=parameters,
+            input_names=[n.name for n in self.graph.placeholders],
+            name=name or type(module).__name__,
+            metadata={"traced_on": self.device.name},
+        )
+
+
+def trace_module(module: Module, inputs: Dict[str, np.ndarray],
+                 device: DeviceProfile = REFERENCE_DEVICE,
+                 name: Optional[str] = None) -> GraphModule:
+    """Convenience wrapper: trace ``module`` on ``inputs`` with a fresh tracer."""
+    return Tracer(device=device).trace(module, inputs, name=name)

@@ -1,0 +1,43 @@
+"""Merkle commitments (paper Sec. 5.2).
+
+The model owner commits to weights (root ``r_w``), graph structure (root
+``r_g``) and calibrated thresholds (root ``r_e``); the proposer commits to
+each execution (``C0``) and, during disputes, to subgraph interfaces.  All of
+these are SHA-256 Merkle trees over canonical byte serializations, with
+logarithmic-depth inclusion proofs so the coordinator can verify any revealed
+leaf against the recorded roots.
+"""
+
+from repro.merkle.tree import MerkleProof, MerkleTree, verify_proof
+from repro.merkle.commitments import (
+    ExecutionCommitment,
+    ModelCommitment,
+    SubgraphRecord,
+    commit_graph,
+    commit_model,
+    commit_thresholds,
+    commit_weights,
+    hash_tensor,
+    interface_hash,
+    make_execution_commitment,
+    make_subgraph_record,
+    verify_subgraph_record,
+)
+
+__all__ = [
+    "MerkleProof",
+    "MerkleTree",
+    "verify_proof",
+    "ExecutionCommitment",
+    "ModelCommitment",
+    "SubgraphRecord",
+    "commit_graph",
+    "commit_model",
+    "commit_thresholds",
+    "commit_weights",
+    "hash_tensor",
+    "interface_hash",
+    "make_execution_commitment",
+    "make_subgraph_record",
+    "verify_subgraph_record",
+]

@@ -1,0 +1,33 @@
+"""Model zoo: mini-scale analogues of the paper's four evaluation workloads.
+
+The paper evaluates ResNet-152, BERT-large, Qwen3-8B and Stable Diffusion
+v1-5.  Running those models is impossible in this offline NumPy environment,
+so the zoo provides structurally faithful miniatures built from the same
+operator families (convolutions + batch norm + residual adds; encoder
+attention + LayerNorm + GELU; decoder attention + RMSNorm + SwiGLU + RoPE;
+UNet with GroupNorm/SiLU, down/upsampling and skip connections).  Per-operator
+error statistics, dispute behaviour and attack surfaces are driven by the
+operator mix and graph topology, which these miniatures preserve.
+"""
+
+from repro.models.resnet import MiniResNet, ResNetConfig
+from repro.models.bert import MiniBERT, BertConfig
+from repro.models.qwen import MiniQwen, QwenConfig
+from repro.models.diffusion import MiniUNet, UNetConfig, DiffusionSampler
+from repro.models.zoo import ModelSpec, available_models, build_model, get_model_spec
+
+__all__ = [
+    "MiniResNet",
+    "ResNetConfig",
+    "MiniBERT",
+    "BertConfig",
+    "MiniQwen",
+    "QwenConfig",
+    "MiniUNet",
+    "UNetConfig",
+    "DiffusionSampler",
+    "ModelSpec",
+    "available_models",
+    "build_model",
+    "get_model_spec",
+]

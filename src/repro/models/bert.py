@@ -1,0 +1,159 @@
+"""MiniBERT: the BERT-large analogue.
+
+An encoder-only transformer classifier: token + position embeddings, a stack
+of post-norm encoder layers (multi-head self-attention, LayerNorm, GELU
+feed-forward), a pooled [CLS]-style head and a classification layer.  The
+operator mix — linear, bmm, softmax, layer_norm, gelu, add, reshape/permute —
+matches the paper's BERT-large workload, which is what matters for
+per-operator error calibration and attack evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graph import functional as F
+from repro.graph.module import Module, Parameter
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Architecture hyperparameters of MiniBERT."""
+
+    vocab_size: int = 1000
+    max_seq_len: int = 32
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 3
+    d_ff: int = 128
+    num_classes: int = 8
+    seed: int = 1
+
+    @property
+    def head_dim(self) -> int:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        return self.d_model // self.num_heads
+
+    @classmethod
+    def small(cls) -> "BertConfig":
+        return cls()
+
+    @classmethod
+    def large(cls) -> "BertConfig":
+        """A deeper/wider variant for long-graph experiments."""
+        return cls(d_model=96, num_heads=6, num_layers=6, d_ff=192)
+
+
+def _linear_init(rng: np.random.Generator, out_dim: int, in_dim: int) -> np.ndarray:
+    scale = 1.0 / np.sqrt(in_dim)
+    return (rng.standard_normal((out_dim, in_dim)) * scale).astype(np.float32)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product multi-head attention."""
+
+    def __init__(self, rng: np.random.Generator, config: BertConfig) -> None:
+        super().__init__()
+        d = config.d_model
+        self.num_heads = config.num_heads
+        self.head_dim = config.head_dim
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.wq = Parameter(_linear_init(rng, d, d))
+        self.bq = Parameter(np.zeros(d))
+        self.wk = Parameter(_linear_init(rng, d, d))
+        self.bk = Parameter(np.zeros(d))
+        self.wv = Parameter(_linear_init(rng, d, d))
+        self.bv = Parameter(np.zeros(d))
+        self.wo = Parameter(_linear_init(rng, d, d))
+        self.bo = Parameter(np.zeros(d))
+
+    def _split_heads(self, x, batch: int, seq: int):
+        x = F.reshape(x, shape=(batch, seq, self.num_heads, self.head_dim))
+        return F.permute(x, dims=(0, 2, 1, 3))
+
+    def forward(self, hidden):
+        batch, seq, d_model = hidden.shape
+        q = self._split_heads(F.linear(hidden, self.wq, self.bq), batch, seq)
+        k = self._split_heads(F.linear(hidden, self.wk, self.bk), batch, seq)
+        v = self._split_heads(F.linear(hidden, self.wv, self.bv), batch, seq)
+
+        k_t = F.transpose(k, axis0=2, axis1=3)
+        scores = F.mul(F.bmm(q, k_t), self.scale)
+        attention = F.softmax(scores, axis=-1)
+        context = F.bmm(attention, v)
+        context = F.permute(context, dims=(0, 2, 1, 3))
+        context = F.reshape(context, shape=(batch, seq, d_model))
+        return F.linear(context, self.wo, self.bo)
+
+
+class EncoderLayer(Module):
+    """Post-norm transformer encoder layer (attention + GELU feed-forward)."""
+
+    def __init__(self, rng: np.random.Generator, config: BertConfig) -> None:
+        super().__init__()
+        d = config.d_model
+        self.attention = MultiHeadSelfAttention(rng, config)
+        self.ln1_weight = Parameter(np.ones(d))
+        self.ln1_bias = Parameter(np.zeros(d))
+        self.w_ff1 = Parameter(_linear_init(rng, config.d_ff, d))
+        self.b_ff1 = Parameter(np.zeros(config.d_ff))
+        self.w_ff2 = Parameter(_linear_init(rng, d, config.d_ff))
+        self.b_ff2 = Parameter(np.zeros(d))
+        self.ln2_weight = Parameter(np.ones(d))
+        self.ln2_bias = Parameter(np.zeros(d))
+
+    def forward(self, hidden):
+        attn_out = self.attention(hidden)
+        hidden = F.layer_norm(F.add(hidden, attn_out), self.ln1_weight, self.ln1_bias)
+        ff = F.gelu(F.linear(hidden, self.w_ff1, self.b_ff1))
+        ff = F.linear(ff, self.w_ff2, self.b_ff2)
+        return F.layer_norm(F.add(hidden, ff), self.ln2_weight, self.ln2_bias)
+
+
+class MiniBERT(Module):
+    """Encoder-only transformer classifier (the BERT-large stand-in)."""
+
+    def __init__(self, config: BertConfig = BertConfig()) -> None:
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.seed)
+        self.token_embedding = Parameter(
+            (rng.standard_normal((config.vocab_size, config.d_model)) * 0.02).astype(np.float32)
+        )
+        self.position_embedding = Parameter(
+            (rng.standard_normal((config.max_seq_len, config.d_model)) * 0.02).astype(np.float32)
+        )
+        self.layers: List[EncoderLayer] = []
+        for i in range(config.num_layers):
+            layer = EncoderLayer(rng, config)
+            self.add_module(f"layer{i}", layer)
+            self.layers.append(layer)
+        self.pool_weight = Parameter(_linear_init(rng, config.d_model, config.d_model))
+        self.pool_bias = Parameter(np.zeros(config.d_model))
+        self.cls_weight = Parameter(_linear_init(rng, config.num_classes, config.d_model))
+        self.cls_bias = Parameter(np.zeros(config.num_classes))
+
+    def forward(self, token_ids):
+        hidden = F.embedding(token_ids, self.token_embedding)
+        seq_len = token_ids.shape[1]
+        positions = F.embedding(np.arange(seq_len, dtype=np.int64), self.position_embedding)
+        hidden = F.add(hidden, positions)
+        for layer in self.layers:
+            hidden = layer(hidden)
+        # [CLS]-style pooling: the first token's hidden state.
+        cls = F.slice(hidden, axis=1, start=0, stop=1)
+        cls = F.reshape(cls, shape=(token_ids.shape[0], self.config.d_model))
+        pooled = F.tanh(F.linear(cls, self.pool_weight, self.pool_bias))
+        logits = F.linear(pooled, self.cls_weight, self.cls_bias)
+        return logits
+
+    def example_inputs(self, batch_size: int = 2, seed: int = 123) -> dict:
+        rng = seeded_rng(seed)
+        tokens = rng.integers(0, self.config.vocab_size,
+                              size=(batch_size, self.config.max_seq_len), dtype=np.int64)
+        return {"token_ids": tokens}

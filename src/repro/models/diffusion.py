@@ -1,0 +1,238 @@
+"""MiniUNet + DDIM-style sampler: the Stable Diffusion v1-5 analogue.
+
+The traced artifact is one denoiser (UNet) forward pass — noise prediction
+from a noisy latent and a timestep embedding — built from the operator
+families of a diffusion UNet: conv2d, GroupNorm, SiLU, residual adds,
+sinusoidal time embeddings, downsampling via strided conv, nearest-neighbour
+upsampling and skip-connection concatenation.  :class:`DiffusionSampler`
+drives multi-step DDIM-style sampling by repeatedly executing the traced
+graph, which is how the paper's multi-step workloads layer time on top of the
+per-step dispute game (Sec. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph import functional as F
+from repro.graph.graph import GraphModule
+from repro.graph.interpreter import Interpreter
+from repro.graph.module import Module, Parameter
+from repro.tensorlib.device import DeviceProfile, REFERENCE_DEVICE
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class UNetConfig:
+    """Architecture hyperparameters of MiniUNet."""
+
+    in_channels: int = 3
+    base_channels: int = 8
+    channel_multipliers: Tuple[int, ...] = (1, 2)
+    image_size: int = 16
+    time_embed_dim: int = 16
+    groups: int = 4
+    num_timesteps: int = 50
+    seed: int = 3
+
+    @classmethod
+    def small(cls) -> "UNetConfig":
+        return cls()
+
+
+def _kaiming(rng: np.random.Generator, shape) -> np.ndarray:
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / max(fan_in, 1))).astype(np.float32)
+
+
+def sinusoidal_time_embedding(timesteps: np.ndarray, dim: int) -> np.ndarray:
+    """Standard sinusoidal timestep features of shape (batch, dim)."""
+    timesteps = np.asarray(timesteps, dtype=np.float64).reshape(-1)
+    half = dim // 2
+    freqs = np.exp(-np.log(10_000.0) * np.arange(half, dtype=np.float64) / max(half - 1, 1))
+    args = timesteps[:, None] * freqs[None, :]
+    embedding = np.concatenate([np.sin(args), np.cos(args)], axis=-1)
+    if dim % 2 == 1:
+        embedding = np.pad(embedding, ((0, 0), (0, 1)))
+    return embedding.astype(np.float32)
+
+
+class ResidualBlock(Module):
+    """GroupNorm -> SiLU -> conv, with a time-embedding injection and skip."""
+
+    def __init__(self, rng: np.random.Generator, in_ch: int, out_ch: int,
+                 time_dim: int, groups: int) -> None:
+        super().__init__()
+        self.groups = min(groups, in_ch)
+        self.out_groups = min(groups, out_ch)
+        self.norm1_weight = Parameter(np.ones(in_ch))
+        self.norm1_bias = Parameter(np.zeros(in_ch))
+        self.conv1_weight = Parameter(_kaiming(rng, (out_ch, in_ch, 3, 3)))
+        self.conv1_bias = Parameter(np.zeros(out_ch))
+        self.time_weight = Parameter(_kaiming(rng, (out_ch, time_dim)))
+        self.time_bias = Parameter(np.zeros(out_ch))
+        self.norm2_weight = Parameter(np.ones(out_ch))
+        self.norm2_bias = Parameter(np.zeros(out_ch))
+        self.conv2_weight = Parameter(_kaiming(rng, (out_ch, out_ch, 3, 3)))
+        self.conv2_bias = Parameter(np.zeros(out_ch))
+        self.has_projection = in_ch != out_ch
+        if self.has_projection:
+            self.proj_weight = Parameter(_kaiming(rng, (out_ch, in_ch, 1, 1)))
+            self.proj_bias = Parameter(np.zeros(out_ch))
+
+    def forward(self, x, time_embed):
+        residual = x
+        h = F.group_norm(x, self.norm1_weight, self.norm1_bias, num_groups=self.groups)
+        h = F.silu(h)
+        h = F.conv2d(h, self.conv1_weight, self.conv1_bias, stride=(1, 1), padding=(1, 1))
+        t = F.linear(F.silu(time_embed), self.time_weight, self.time_bias)
+        batch = time_embed.shape[0]
+        t = F.reshape(t, shape=(batch, self.conv1_weight.shape[0], 1, 1))
+        h = F.add(h, t)
+        h = F.group_norm(h, self.norm2_weight, self.norm2_bias, num_groups=self.out_groups)
+        h = F.silu(h)
+        h = F.conv2d(h, self.conv2_weight, self.conv2_bias, stride=(1, 1), padding=(1, 1))
+        if self.has_projection:
+            residual = F.conv2d(residual, self.proj_weight, self.proj_bias,
+                                stride=(1, 1), padding=(0, 0))
+        return F.add(h, residual)
+
+
+class MiniUNet(Module):
+    """Small UNet noise predictor (the Stable Diffusion UNet stand-in)."""
+
+    def __init__(self, config: UNetConfig = UNetConfig()) -> None:
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.seed)
+        base = config.base_channels
+        time_dim = config.time_embed_dim
+
+        self.time_w1 = Parameter(_kaiming(rng, (time_dim, time_dim)))
+        self.time_b1 = Parameter(np.zeros(time_dim))
+        self.time_w2 = Parameter(_kaiming(rng, (time_dim, time_dim)))
+        self.time_b2 = Parameter(np.zeros(time_dim))
+
+        self.stem_weight = Parameter(_kaiming(rng, (base, config.in_channels, 3, 3)))
+        self.stem_bias = Parameter(np.zeros(base))
+
+        channels = [base * m for m in config.channel_multipliers]
+        self.down_blocks: List[ResidualBlock] = []
+        self.down_convs: List[Tuple[Parameter, Parameter]] = []
+        in_ch = base
+        for level, out_ch in enumerate(channels):
+            block = ResidualBlock(rng, in_ch, out_ch, time_dim, config.groups)
+            self.add_module(f"down{level}", block)
+            self.down_blocks.append(block)
+            if level < len(channels) - 1:
+                w = Parameter(_kaiming(rng, (out_ch, out_ch, 3, 3)))
+                b = Parameter(np.zeros(out_ch))
+                setattr(self, f"downsample{level}_weight", w)
+                setattr(self, f"downsample{level}_bias", b)
+                self.down_convs.append((w, b))
+            in_ch = out_ch
+
+        self.mid_block = ResidualBlock(rng, in_ch, in_ch, time_dim, config.groups)
+
+        self.up_blocks: List[ResidualBlock] = []
+        for level, out_ch in enumerate(reversed(channels[:-1])):
+            block = ResidualBlock(rng, in_ch + out_ch, out_ch, time_dim, config.groups)
+            self.add_module(f"up{level}", block)
+            self.up_blocks.append(block)
+            in_ch = out_ch
+
+        self.out_norm_weight = Parameter(np.ones(in_ch))
+        self.out_norm_bias = Parameter(np.zeros(in_ch))
+        self.out_conv_weight = Parameter(_kaiming(rng, (config.in_channels, in_ch, 3, 3)))
+        self.out_conv_bias = Parameter(np.zeros(config.in_channels))
+
+    def forward(self, noisy_latent, time_features):
+        time_embed = F.silu(F.linear(time_features, self.time_w1, self.time_b1))
+        time_embed = F.linear(time_embed, self.time_w2, self.time_b2)
+
+        h = F.conv2d(noisy_latent, self.stem_weight, self.stem_bias,
+                     stride=(1, 1), padding=(1, 1))
+        skips = []
+        for level, block in enumerate(self.down_blocks):
+            h = block(h, time_embed)
+            skips.append(h)
+            if level < len(self.down_convs):
+                w, b = self.down_convs[level]
+                h = F.conv2d(h, w, b, stride=(2, 2), padding=(1, 1))
+
+        h = self.mid_block(h, time_embed)
+
+        for level, block in enumerate(self.up_blocks):
+            h = F.upsample_nearest(h, scale_factor=2)
+            skip = skips[len(self.down_blocks) - 2 - level]
+            h = F.concat([h, skip], axis=1)
+            h = block(h, time_embed)
+
+        h = F.group_norm(h, self.out_norm_weight, self.out_norm_bias,
+                         num_groups=min(self.config.groups, h.shape[1]))
+        h = F.silu(h)
+        return F.conv2d(h, self.out_conv_weight, self.out_conv_bias,
+                        stride=(1, 1), padding=(1, 1))
+
+    def example_inputs(self, batch_size: int = 1, seed: int = 123,
+                       timestep: Optional[int] = None) -> Dict[str, np.ndarray]:
+        rng = seeded_rng(seed)
+        latent = rng.standard_normal(
+            (batch_size, self.config.in_channels, self.config.image_size, self.config.image_size)
+        ).astype(np.float32)
+        t = self.config.num_timesteps - 1 if timestep is None else int(timestep)
+        time_features = sinusoidal_time_embedding(
+            np.full((batch_size,), t), self.config.time_embed_dim
+        )
+        return {"noisy_latent": latent, "time_features": time_features}
+
+
+class DiffusionSampler:
+    """DDIM-style deterministic sampler driving a traced MiniUNet graph.
+
+    Each denoising step is one execution of the committed graph, so in the
+    protocol's multi-step extension (Sec. 7) every step can be committed and
+    disputed independently with prefix finality.
+    """
+
+    def __init__(self, graph_module: GraphModule, config: UNetConfig,
+                 device: DeviceProfile = REFERENCE_DEVICE) -> None:
+        self.graph_module = graph_module
+        self.config = config
+        self.interpreter = Interpreter(device)
+        # Linear beta schedule -> alpha-bar products used by DDIM updates.
+        betas = np.linspace(1e-4, 2e-2, config.num_timesteps, dtype=np.float64)
+        alphas = 1.0 - betas
+        self.alpha_bars = np.cumprod(alphas)
+
+    def sample(self, batch_size: int = 1, num_steps: int = 5, seed: int = 0
+               ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Run ``num_steps`` denoising steps; returns (final latent, per-step latents)."""
+        if num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+        rng = seeded_rng(seed)
+        latent = rng.standard_normal(
+            (batch_size, self.config.in_channels, self.config.image_size, self.config.image_size)
+        ).astype(np.float32)
+        timesteps = np.linspace(self.config.num_timesteps - 1, 0, num_steps).astype(int)
+        trajectory: List[np.ndarray] = []
+        for i, t in enumerate(timesteps):
+            time_features = sinusoidal_time_embedding(
+                np.full((batch_size,), t), self.config.time_embed_dim
+            )
+            trace = self.interpreter.run(
+                self.graph_module,
+                {"noisy_latent": latent, "time_features": time_features},
+            )
+            noise_pred = trace.output.astype(np.float64)
+            alpha_bar = self.alpha_bars[t]
+            prev_t = timesteps[i + 1] if i + 1 < len(timesteps) else 0
+            alpha_bar_prev = self.alpha_bars[prev_t] if i + 1 < len(timesteps) else 1.0
+            x0 = (latent - np.sqrt(1.0 - alpha_bar) * noise_pred) / np.sqrt(alpha_bar)
+            latent = (np.sqrt(alpha_bar_prev) * x0
+                      + np.sqrt(1.0 - alpha_bar_prev) * noise_pred).astype(np.float32)
+            trajectory.append(latent.copy())
+        return latent, trajectory

@@ -1,0 +1,177 @@
+"""MiniQwen: the Qwen3-8B analogue.
+
+A decoder-only LLM with the modern architecture ingredients the paper's LLM
+workload uses: RMSNorm, rotary position embeddings (RoPE), causal multi-head
+attention, a SwiGLU feed-forward block and a tied-vocabulary LM head.  The
+output is next-token logits for the final position, matching the paper's
+"feed the first part of the sequence, target the next token" attack setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph import functional as F
+from repro.graph.module import Module, Parameter
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class QwenConfig:
+    """Architecture hyperparameters of MiniQwen."""
+
+    vocab_size: int = 512
+    max_seq_len: int = 32
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 3
+    d_ff: int = 128
+    rope_base: float = 10_000.0
+    seed: int = 2
+
+    @property
+    def head_dim(self) -> int:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        return self.d_model // self.num_heads
+
+    @classmethod
+    def small(cls) -> "QwenConfig":
+        return cls()
+
+    @classmethod
+    def large(cls) -> "QwenConfig":
+        return cls(d_model=96, num_heads=6, num_layers=6, d_ff=256, vocab_size=1024)
+
+
+def _linear_init(rng: np.random.Generator, out_dim: int, in_dim: int) -> np.ndarray:
+    scale = 1.0 / np.sqrt(in_dim)
+    return (rng.standard_normal((out_dim, in_dim)) * scale).astype(np.float32)
+
+
+def rope_tables(seq_len: int, head_dim: int, base: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute the RoPE cos/sin tables of shape (seq_len, head_dim)."""
+    if head_dim % 2 != 0:
+        raise ValueError("RoPE requires an even head dimension")
+    positions = np.arange(seq_len, dtype=np.float64)[:, None]
+    freq_index = np.arange(head_dim // 2, dtype=np.float64)[None, :]
+    inv_freq = base ** (-2.0 * freq_index / head_dim)
+    angles = positions * inv_freq  # (seq, head_dim/2)
+    angles = np.concatenate([angles, angles], axis=-1)  # (seq, head_dim)
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal attention with rotary position embeddings."""
+
+    def __init__(self, rng: np.random.Generator, config: QwenConfig) -> None:
+        super().__init__()
+        d = config.d_model
+        self.num_heads = config.num_heads
+        self.head_dim = config.head_dim
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.wq = Parameter(_linear_init(rng, d, d))
+        self.wk = Parameter(_linear_init(rng, d, d))
+        self.wv = Parameter(_linear_init(rng, d, d))
+        self.wo = Parameter(_linear_init(rng, d, d))
+        cos, sin = rope_tables(config.max_seq_len, config.head_dim, config.rope_base)
+        self.rope_cos = Parameter(cos)
+        self.rope_sin = Parameter(sin)
+        # Causal mask constant: True above the diagonal (future positions).
+        self.causal_mask = np.triu(
+            np.ones((config.max_seq_len, config.max_seq_len), dtype=bool), k=1
+        )
+
+    def _split_heads(self, x, batch: int, seq: int):
+        x = F.reshape(x, shape=(batch, seq, self.num_heads, self.head_dim))
+        return F.permute(x, dims=(0, 2, 1, 3))
+
+    def _apply_rope(self, x, seq: int):
+        """x: (batch, heads, seq, head_dim) -> rotary-embedded x."""
+        cos = F.slice(self.rope_cos, axis=0, start=0, stop=seq)
+        sin = F.slice(self.rope_sin, axis=0, start=0, stop=seq)
+        half = self.head_dim // 2
+        x1 = F.slice(x, axis=3, start=0, stop=half)
+        x2 = F.slice(x, axis=3, start=half, stop=self.head_dim)
+        rotated = F.concat([F.neg(x2), x1], axis=3)
+        return F.add(F.mul(x, cos), F.mul(rotated, sin))
+
+    def forward(self, hidden):
+        batch, seq, d_model = hidden.shape
+        q = self._split_heads(F.linear(hidden, self.wq), batch, seq)
+        k = self._split_heads(F.linear(hidden, self.wk), batch, seq)
+        v = self._split_heads(F.linear(hidden, self.wv), batch, seq)
+        q = self._apply_rope(q, seq)
+        k = self._apply_rope(k, seq)
+
+        k_t = F.transpose(k, axis0=2, axis1=3)
+        scores = F.mul(F.bmm(q, k_t), self.scale)
+        mask = self.causal_mask[:seq, :seq]
+        scores = F.masked_fill(scores, mask, value=-1e9)
+        attention = F.softmax(scores, axis=-1)
+        context = F.bmm(attention, v)
+        context = F.permute(context, dims=(0, 2, 1, 3))
+        context = F.reshape(context, shape=(batch, seq, d_model))
+        return F.linear(context, self.wo)
+
+
+class DecoderLayer(Module):
+    """Pre-norm decoder layer: RMSNorm -> attention, RMSNorm -> SwiGLU."""
+
+    def __init__(self, rng: np.random.Generator, config: QwenConfig) -> None:
+        super().__init__()
+        d = config.d_model
+        self.attn_norm = Parameter(np.ones(d))
+        self.attention = CausalSelfAttention(rng, config)
+        self.ffn_norm = Parameter(np.ones(d))
+        self.w_gate = Parameter(_linear_init(rng, config.d_ff, d))
+        self.w_up = Parameter(_linear_init(rng, config.d_ff, d))
+        self.w_down = Parameter(_linear_init(rng, d, config.d_ff))
+
+    def forward(self, hidden):
+        attn_in = F.rms_norm(hidden, self.attn_norm)
+        hidden = F.add(hidden, self.attention(attn_in))
+        ffn_in = F.rms_norm(hidden, self.ffn_norm)
+        gate = F.silu(F.linear(ffn_in, self.w_gate))
+        up = F.linear(ffn_in, self.w_up)
+        ffn_out = F.linear(F.mul(gate, up), self.w_down)
+        return F.add(hidden, ffn_out)
+
+
+class MiniQwen(Module):
+    """Decoder-only LLM (the Qwen3-8B stand-in); returns next-token logits."""
+
+    def __init__(self, config: QwenConfig = QwenConfig()) -> None:
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.seed)
+        self.token_embedding = Parameter(
+            (rng.standard_normal((config.vocab_size, config.d_model)) * 0.02).astype(np.float32)
+        )
+        self.layers: List[DecoderLayer] = []
+        for i in range(config.num_layers):
+            layer = DecoderLayer(rng, config)
+            self.add_module(f"layer{i}", layer)
+            self.layers.append(layer)
+        self.final_norm = Parameter(np.ones(config.d_model))
+        self.lm_head = Parameter(_linear_init(rng, config.vocab_size, config.d_model))
+
+    def forward(self, token_ids):
+        hidden = F.embedding(token_ids, self.token_embedding)
+        for layer in self.layers:
+            hidden = layer(hidden)
+        hidden = F.rms_norm(hidden, self.final_norm)
+        # Next-token prediction: logits of the final position.
+        last = F.slice(hidden, axis=1, start=token_ids.shape[1] - 1, stop=token_ids.shape[1])
+        last = F.reshape(last, shape=(token_ids.shape[0], self.config.d_model))
+        logits = F.linear(last, self.lm_head)
+        return logits
+
+    def example_inputs(self, batch_size: int = 2, seed: int = 123) -> dict:
+        rng = seeded_rng(seed)
+        tokens = rng.integers(0, self.config.vocab_size,
+                              size=(batch_size, self.config.max_seq_len), dtype=np.int64)
+        return {"token_ids": tokens}

@@ -1,0 +1,141 @@
+"""MiniResNet: the ResNet-152 analogue.
+
+A residual CNN classifier built from the same operator family as the paper's
+ResNet-152 workload (conv2d + inference-mode batch norm + ReLU + residual
+adds + max/average pooling + a linear classifier head), scaled to 32x32
+inputs so that tracing, calibration and dispute games run in seconds on a
+CPU.  The default configuration produces a graph of a few hundred operators;
+``ResNetConfig.deep()`` roughly doubles the depth for experiments that need a
+longer canonical order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import functional as F
+from repro.graph.module import Module, Parameter
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Architecture hyperparameters of MiniResNet."""
+
+    in_channels: int = 3
+    image_size: int = 32
+    stem_channels: int = 16
+    stage_blocks: Tuple[int, ...] = (2, 2, 2)
+    stage_channels: Tuple[int, ...] = (16, 32, 64)
+    num_classes: int = 10
+    seed: int = 0
+
+    @classmethod
+    def small(cls) -> "ResNetConfig":
+        return cls()
+
+    @classmethod
+    def deep(cls) -> "ResNetConfig":
+        """A deeper variant (more blocks) for long-canonical-order experiments."""
+        return cls(stage_blocks=(3, 4, 3), stage_channels=(16, 32, 64))
+
+    def __post_init__(self) -> None:
+        if len(self.stage_blocks) != len(self.stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have equal length")
+
+
+def _kaiming(rng: np.random.Generator, shape: Sequence[int]) -> np.ndarray:
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+
+class ConvBnRelu(Module):
+    """conv2d -> batch_norm (inference) -> optional ReLU."""
+
+    def __init__(self, rng: np.random.Generator, in_ch: int, out_ch: int,
+                 kernel: int = 3, stride: int = 1, relu: bool = True) -> None:
+        super().__init__()
+        self.relu = relu
+        self.stride = stride
+        self.padding = kernel // 2
+        self.weight = Parameter(_kaiming(rng, (out_ch, in_ch, kernel, kernel)))
+        self.bn_weight = Parameter(np.ones(out_ch))
+        self.bn_bias = Parameter(np.zeros(out_ch))
+        # Inference-mode running statistics: mildly non-trivial values so the
+        # normalization actually rescales activations.
+        self.bn_mean = Parameter(rng.standard_normal(out_ch) * 0.01)
+        self.bn_var = Parameter(np.abs(rng.standard_normal(out_ch)) * 0.1 + 1.0)
+
+    def forward(self, x):
+        x = F.conv2d(x, self.weight, stride=(self.stride, self.stride),
+                     padding=(self.padding, self.padding))
+        x = F.batch_norm(x, self.bn_weight, self.bn_bias, self.bn_mean, self.bn_var)
+        if self.relu:
+            x = F.relu(x)
+        return x
+
+
+class BasicBlock(Module):
+    """Two 3x3 conv-bn units with a residual connection."""
+
+    def __init__(self, rng: np.random.Generator, in_ch: int, out_ch: int, stride: int = 1) -> None:
+        super().__init__()
+        self.conv1 = ConvBnRelu(rng, in_ch, out_ch, kernel=3, stride=stride, relu=True)
+        self.conv2 = ConvBnRelu(rng, out_ch, out_ch, kernel=3, stride=1, relu=False)
+        self.has_projection = stride != 1 or in_ch != out_ch
+        if self.has_projection:
+            self.projection = ConvBnRelu(rng, in_ch, out_ch, kernel=1, stride=stride, relu=False)
+
+    def forward(self, x):
+        identity = self.projection(x) if self.has_projection else x
+        out = self.conv1(x)
+        out = self.conv2(out)
+        out = F.add(out, identity)
+        return F.relu(out)
+
+
+class MiniResNet(Module):
+    """Residual CNN classifier (the ResNet-152 stand-in)."""
+
+    def __init__(self, config: ResNetConfig = ResNetConfig()) -> None:
+        super().__init__()
+        self.config = config
+        rng = seeded_rng(config.seed)
+        self.stem = ConvBnRelu(rng, config.in_channels, config.stem_channels,
+                               kernel=3, stride=1, relu=True)
+        in_ch = config.stem_channels
+        self.stages: List[List[BasicBlock]] = []
+        for stage_idx, (blocks, out_ch) in enumerate(
+                zip(config.stage_blocks, config.stage_channels)):
+            stage: List[BasicBlock] = []
+            for block_idx in range(blocks):
+                stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+                block = BasicBlock(rng, in_ch, out_ch, stride=stride)
+                self.add_module(f"stage{stage_idx}_block{block_idx}", block)
+                stage.append(block)
+                in_ch = out_ch
+            self.stages.append(stage)
+        self.head_weight = Parameter(_kaiming(rng, (config.num_classes, in_ch)))
+        self.head_bias = Parameter(np.zeros(config.num_classes))
+
+    def forward(self, images):
+        x = self.stem(images)
+        x = F.max_pool2d(x, kernel_size=(2, 2), stride=(2, 2))
+        for stage in self.stages:
+            for block in stage:
+                x = block(x)
+        x = F.adaptive_avg_pool2d(x, output_size=(1, 1))
+        x = F.flatten(x, start_dim=1)
+        logits = F.linear(x, self.head_weight, self.head_bias)
+        return logits
+
+    def example_inputs(self, batch_size: int = 2, seed: int = 123) -> dict:
+        rng = seeded_rng(seed)
+        images = rng.standard_normal(
+            (batch_size, self.config.in_channels, self.config.image_size, self.config.image_size)
+        ).astype(np.float32)
+        return {"images": images}

@@ -1,0 +1,160 @@
+"""Model registry mapping workload names to builders and input samplers.
+
+Benchmarks and examples refer to models by the zoo name (``"resnet_mini"``,
+``"bert_mini"``, ``"qwen_mini"``, ``"diffusion_mini"``); each
+:class:`ModelSpec` knows how to construct the module, trace it, and sample
+fresh inputs for calibration, attacks or serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.graph import GraphModule
+from repro.graph.module import Module
+from repro.graph.tracer import trace_module
+from repro.models.bert import BertConfig, MiniBERT
+from repro.models.diffusion import MiniUNet, UNetConfig, sinusoidal_time_embedding
+from repro.models.qwen import MiniQwen, QwenConfig
+from repro.models.resnet import MiniResNet, ResNetConfig
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class ModelSpec:
+    """One zoo entry: builder, input sampler and metadata."""
+
+    name: str
+    paper_analogue: str
+    kind: str  # "cnn" | "encoder" | "llm" | "diffusion"
+    build: Callable[[], Module]
+    sample_inputs: Callable[[Module, int, int], Dict[str, np.ndarray]]
+    description: str
+    default_batch: int = 2
+
+    def build_module(self) -> Module:
+        return self.build()
+
+    def trace(self, module: Optional[Module] = None, batch_size: Optional[int] = None,
+              seed: int = 0) -> GraphModule:
+        module = module or self.build_module()
+        inputs = self.sample_inputs(module, batch_size or self.default_batch, seed)
+        return trace_module(module, inputs, name=self.name)
+
+    def dataset(self, module: Module, num_samples: int, seed: int = 0,
+                batch_size: Optional[int] = None) -> List[Dict[str, np.ndarray]]:
+        """A list of fresh input dictionaries (calibration / attack data)."""
+        batch = batch_size or self.default_batch
+        return [
+            self.sample_inputs(module, batch, derive_seed(seed, self.name, i))
+            for i in range(num_samples)
+        ]
+
+
+def _resnet_inputs(module: MiniResNet, batch_size: int, seed: int) -> Dict[str, np.ndarray]:
+    rng = seeded_rng(seed)
+    cfg = module.config
+    images = rng.standard_normal(
+        (batch_size, cfg.in_channels, cfg.image_size, cfg.image_size)
+    ).astype(np.float32)
+    return {"images": images}
+
+
+def _bert_inputs(module: MiniBERT, batch_size: int, seed: int) -> Dict[str, np.ndarray]:
+    rng = seeded_rng(seed)
+    cfg = module.config
+    tokens = rng.integers(0, cfg.vocab_size, size=(batch_size, cfg.max_seq_len), dtype=np.int64)
+    return {"token_ids": tokens}
+
+
+def _qwen_inputs(module: MiniQwen, batch_size: int, seed: int) -> Dict[str, np.ndarray]:
+    rng = seeded_rng(seed)
+    cfg = module.config
+    tokens = rng.integers(0, cfg.vocab_size, size=(batch_size, cfg.max_seq_len), dtype=np.int64)
+    return {"token_ids": tokens}
+
+
+def _diffusion_inputs(module: MiniUNet, batch_size: int, seed: int) -> Dict[str, np.ndarray]:
+    rng = seeded_rng(seed)
+    cfg = module.config
+    latent = rng.standard_normal(
+        (batch_size, cfg.in_channels, cfg.image_size, cfg.image_size)
+    ).astype(np.float32)
+    timestep = int(rng.integers(0, cfg.num_timesteps))
+    time_features = sinusoidal_time_embedding(
+        np.full((batch_size,), timestep), cfg.time_embed_dim
+    )
+    return {"noisy_latent": latent, "time_features": time_features}
+
+
+_ZOO: Dict[str, ModelSpec] = {
+    "resnet_mini": ModelSpec(
+        name="resnet_mini",
+        paper_analogue="ResNet-152 on ImageNet",
+        kind="cnn",
+        build=lambda: MiniResNet(ResNetConfig.small()),
+        sample_inputs=_resnet_inputs,
+        description="Residual CNN classifier: conv2d / batch_norm / relu / pooling / linear.",
+    ),
+    "resnet_deep": ModelSpec(
+        name="resnet_deep",
+        paper_analogue="ResNet-152 on ImageNet (deeper variant)",
+        kind="cnn",
+        build=lambda: MiniResNet(ResNetConfig.deep()),
+        sample_inputs=_resnet_inputs,
+        description="Deeper residual CNN for long-canonical-order experiments.",
+    ),
+    "bert_mini": ModelSpec(
+        name="bert_mini",
+        paper_analogue="BERT-large on DBpedia",
+        kind="encoder",
+        build=lambda: MiniBERT(BertConfig.small()),
+        sample_inputs=_bert_inputs,
+        description="Encoder transformer classifier: linear / bmm / softmax / layer_norm / gelu.",
+    ),
+    "bert_deep": ModelSpec(
+        name="bert_deep",
+        paper_analogue="BERT-large on DBpedia (deeper variant)",
+        kind="encoder",
+        build=lambda: MiniBERT(BertConfig.large()),
+        sample_inputs=_bert_inputs,
+        description="Deeper encoder transformer for dispute-game scaling experiments.",
+    ),
+    "qwen_mini": ModelSpec(
+        name="qwen_mini",
+        paper_analogue="Qwen3-8B on C4 (next-token prediction)",
+        kind="llm",
+        build=lambda: MiniQwen(QwenConfig.small()),
+        sample_inputs=_qwen_inputs,
+        description="Decoder-only LLM: rms_norm / RoPE / causal attention / SwiGLU / lm head.",
+    ),
+    "diffusion_mini": ModelSpec(
+        name="diffusion_mini",
+        paper_analogue="Stable Diffusion v1-5 (UNet denoiser)",
+        kind="diffusion",
+        build=lambda: MiniUNet(UNetConfig.small()),
+        sample_inputs=_diffusion_inputs,
+        description="UNet noise predictor: conv2d / group_norm / silu / upsample / concat.",
+        default_batch=1,
+    ),
+}
+
+
+def available_models() -> List[str]:
+    return sorted(_ZOO)
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    try:
+        return _ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+
+
+def build_model(name: str) -> Module:
+    return get_model_spec(name).build_module()

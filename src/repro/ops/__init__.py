@@ -1,0 +1,35 @@
+"""Operator registry: forward kernels, VJPs and FLOP estimators per operator.
+
+Every primitive tensor operator that can appear in a traced graph is
+described by an :class:`~repro.ops.registry.OpSpec` and registered globally.
+The convention throughout the registry is:
+
+* **positional arguments are tensors** (NumPy ``float32`` arrays, or integer
+  arrays for index-like inputs), and
+* **keyword arguments are static attributes** (axis, stride, eps, ...), which
+  become part of the operator's committed signature.
+
+The forward kernels take the executing :class:`~repro.tensorlib.device.DeviceProfile`
+so reductions inherit the device's accumulation order; the VJPs are used by
+the adversarial attack machinery (paper Sec. 4) to backpropagate the logit
+margin to intermediate activations; the FLOP estimators feed the Table 3 cost
+accounting.
+
+Importing this package registers the full operator set (the paper's
+Appendix A.3 operator list).
+"""
+
+from repro.ops.registry import OpSpec, get_op, has_op, list_ops, register_op
+
+# Importing the submodules populates the registry as a side effect.
+from repro.ops import (  # noqa: F401  (imported for registration side effects)
+    elementwise,
+    activation,
+    reduction,
+    linalg,
+    conv,
+    norm,
+    structural,
+)
+
+__all__ = ["OpSpec", "get_op", "has_op", "list_ops", "register_op"]

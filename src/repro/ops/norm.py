@@ -1,0 +1,210 @@
+"""Normalization and softmax operators.
+
+LayerNorm / GroupNorm / RMSNorm compute their statistics with device-ordered
+reductions, so the per-operator error distributions the paper calibrates for
+transformers come out of these kernels.  BatchNorm is implemented in
+inference mode (running statistics are parameters), which is how the paper's
+ResNet-152 workload runs it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ops.registry import OpSpec, register_op
+from repro.tensorlib.device import DeviceProfile
+from repro.tensorlib.flops import normalization_flops, softmax_flops
+from repro.tensorlib.kernels import device_mean, device_sum
+
+
+# ---------------------------------------------------------------------------
+# softmax
+# ---------------------------------------------------------------------------
+
+def _softmax_forward(device: DeviceProfile, x, *, axis: int = -1) -> np.ndarray:
+    x32 = np.asarray(x, dtype=np.float32)
+    ax = axis % x32.ndim
+    m = x32.max(axis=ax, keepdims=True)
+    z = (x32 - m).astype(np.float32)
+    e = np.exp(z).astype(np.float32)
+    s = device_sum(e, device, axis=ax, keepdims=True)
+    return (e / s).astype(np.float32)
+
+
+def _softmax_vjp(device, grad_out, out, x, *, axis: int = -1):
+    out64 = np.asarray(out, dtype=np.float64)
+    grad = np.asarray(grad_out, dtype=np.float64)
+    ax = axis % out64.ndim
+    dot = (grad * out64).sum(axis=ax, keepdims=True)
+    return (out64 * (grad - dot),)
+
+
+# ---------------------------------------------------------------------------
+# layer_norm
+# ---------------------------------------------------------------------------
+
+def _layer_norm_forward(device: DeviceProfile, x, weight, bias, *, eps: float = 1e-5) -> np.ndarray:
+    """LayerNorm over the last dimension with affine parameters."""
+    x32 = np.asarray(x, dtype=np.float32)
+    mean = device_mean(x32, device, axis=-1, keepdims=True)
+    centered = (x32 - mean).astype(np.float32)
+    var = device_mean((centered * centered).astype(np.float32), device, axis=-1, keepdims=True)
+    inv_std = (np.float32(1.0) / np.sqrt(var + np.float32(eps))).astype(np.float32)
+    normed = (centered * inv_std).astype(np.float32)
+    w32 = np.asarray(weight, dtype=np.float32)
+    b32 = np.asarray(bias, dtype=np.float32)
+    return (normed * w32 + b32).astype(np.float32)
+
+
+def _layer_norm_vjp(device, grad_out, out, x, weight, bias, *, eps: float = 1e-5):
+    x64 = np.asarray(x, dtype=np.float64)
+    w64 = np.asarray(weight, dtype=np.float64)
+    grad = np.asarray(grad_out, dtype=np.float64)
+    d = x64.shape[-1]
+    mean = x64.mean(axis=-1, keepdims=True)
+    centered = x64 - mean
+    var = (centered ** 2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normed = centered * inv_std
+
+    grad_normed = grad * w64
+    grad_var = (grad_normed * centered * -0.5 * inv_std ** 3).sum(axis=-1, keepdims=True)
+    grad_mean = (-grad_normed * inv_std).sum(axis=-1, keepdims=True) + \
+        grad_var * (-2.0 / d) * centered.sum(axis=-1, keepdims=True)
+    grad_x = grad_normed * inv_std + grad_var * 2.0 / d * centered + grad_mean / d
+
+    reduce_axes = tuple(range(grad.ndim - 1))
+    grad_w = (grad * normed).sum(axis=reduce_axes)
+    grad_b = grad.sum(axis=reduce_axes)
+    return grad_x, grad_w, grad_b
+
+
+# ---------------------------------------------------------------------------
+# rms_norm (Qwen/LLaMA-style)
+# ---------------------------------------------------------------------------
+
+def _rms_norm_forward(device: DeviceProfile, x, weight, *, eps: float = 1e-6) -> np.ndarray:
+    x32 = np.asarray(x, dtype=np.float32)
+    mean_sq = device_mean((x32 * x32).astype(np.float32), device, axis=-1, keepdims=True)
+    inv_rms = (np.float32(1.0) / np.sqrt(mean_sq + np.float32(eps))).astype(np.float32)
+    return (x32 * inv_rms * np.asarray(weight, dtype=np.float32)).astype(np.float32)
+
+
+def _rms_norm_vjp(device, grad_out, out, x, weight, *, eps: float = 1e-6):
+    x64 = np.asarray(x, dtype=np.float64)
+    w64 = np.asarray(weight, dtype=np.float64)
+    grad = np.asarray(grad_out, dtype=np.float64)
+    d = x64.shape[-1]
+    mean_sq = (x64 ** 2).mean(axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(mean_sq + eps)
+    grad_scaled = grad * w64
+    dot = (grad_scaled * x64).sum(axis=-1, keepdims=True)
+    grad_x = grad_scaled * inv_rms - x64 * (inv_rms ** 3) * dot / d
+    reduce_axes = tuple(range(grad.ndim - 1))
+    grad_w = (grad * x64 * inv_rms).sum(axis=reduce_axes)
+    return grad_x, grad_w
+
+
+# ---------------------------------------------------------------------------
+# batch_norm (inference mode)
+# ---------------------------------------------------------------------------
+
+def _batch_norm_forward(device: DeviceProfile, x, weight, bias, running_mean, running_var, *,
+                        eps: float = 1e-5) -> np.ndarray:
+    x32 = np.asarray(x, dtype=np.float32)
+    shape = (1, -1) + (1,) * (x32.ndim - 2)
+    mean = np.asarray(running_mean, dtype=np.float32).reshape(shape)
+    var = np.asarray(running_var, dtype=np.float32).reshape(shape)
+    w32 = np.asarray(weight, dtype=np.float32).reshape(shape)
+    b32 = np.asarray(bias, dtype=np.float32).reshape(shape)
+    inv_std = (np.float32(1.0) / np.sqrt(var + np.float32(eps))).astype(np.float32)
+    return ((x32 - mean) * inv_std * w32 + b32).astype(np.float32)
+
+
+def _batch_norm_vjp(device, grad_out, out, x, weight, bias, running_mean, running_var, *,
+                    eps: float = 1e-5):
+    grad = np.asarray(grad_out, dtype=np.float64)
+    x64 = np.asarray(x, dtype=np.float64)
+    shape = (1, -1) + (1,) * (x64.ndim - 2)
+    var = np.asarray(running_var, dtype=np.float64).reshape(shape)
+    mean = np.asarray(running_mean, dtype=np.float64).reshape(shape)
+    w64 = np.asarray(weight, dtype=np.float64).reshape(shape)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    grad_x = grad * w64 * inv_std
+    reduce_axes = (0,) + tuple(range(2, x64.ndim))
+    normed = (x64 - mean) * inv_std
+    grad_w = (grad * normed).sum(axis=reduce_axes)
+    grad_b = grad.sum(axis=reduce_axes)
+    # No gradient into the running statistics (inference-mode constants).
+    return grad_x, grad_w, grad_b, None, None
+
+
+# ---------------------------------------------------------------------------
+# group_norm
+# ---------------------------------------------------------------------------
+
+def _group_norm_forward(device: DeviceProfile, x, weight, bias, *, num_groups: int,
+                        eps: float = 1e-5) -> np.ndarray:
+    x32 = np.asarray(x, dtype=np.float32)
+    n, c = x32.shape[:2]
+    spatial = x32.shape[2:]
+    g = int(num_groups)
+    if c % g != 0:
+        raise ValueError(f"group_norm: channels {c} not divisible by num_groups {g}")
+    grouped = x32.reshape((n, g, c // g) + spatial)
+    reduce_axes = tuple(range(2, grouped.ndim))
+    mean = device_mean(grouped, device, axis=reduce_axes, keepdims=True)
+    centered = (grouped - mean).astype(np.float32)
+    var = device_mean((centered * centered).astype(np.float32), device,
+                      axis=reduce_axes, keepdims=True)
+    inv_std = (np.float32(1.0) / np.sqrt(var + np.float32(eps))).astype(np.float32)
+    normed = (centered * inv_std).astype(np.float32).reshape(x32.shape)
+    shape = (1, c) + (1,) * len(spatial)
+    w32 = np.asarray(weight, dtype=np.float32).reshape(shape)
+    b32 = np.asarray(bias, dtype=np.float32).reshape(shape)
+    return (normed * w32 + b32).astype(np.float32)
+
+
+def _group_norm_vjp(device, grad_out, out, x, weight, bias, *, num_groups: int, eps: float = 1e-5):
+    x64 = np.asarray(x, dtype=np.float64)
+    grad = np.asarray(grad_out, dtype=np.float64)
+    n, c = x64.shape[:2]
+    spatial = x64.shape[2:]
+    g = int(num_groups)
+    shape = (1, c) + (1,) * len(spatial)
+    w64 = np.asarray(weight, dtype=np.float64).reshape(shape)
+
+    grouped = x64.reshape((n, g, c // g) + spatial)
+    reduce_axes = tuple(range(2, grouped.ndim))
+    m = float(np.prod([grouped.shape[a] for a in reduce_axes]))
+    mean = grouped.mean(axis=reduce_axes, keepdims=True)
+    centered = grouped - mean
+    var = (centered ** 2).mean(axis=reduce_axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normed_g = centered * inv_std
+
+    grad_normed = (grad * w64).reshape(grouped.shape)
+    grad_var = (grad_normed * centered * -0.5 * inv_std ** 3).sum(axis=reduce_axes, keepdims=True)
+    grad_mean = (-grad_normed * inv_std).sum(axis=reduce_axes, keepdims=True)
+    grad_grouped = grad_normed * inv_std + grad_var * 2.0 / m * centered + grad_mean / m
+    grad_x = grad_grouped.reshape(x64.shape)
+
+    normed = normed_g.reshape(x64.shape)
+    reduce_full = (0,) + tuple(range(2, x64.ndim))
+    grad_w = (grad * normed).sum(axis=reduce_full)
+    grad_b = grad.sum(axis=reduce_full)
+    return grad_x, grad_w, grad_b
+
+
+register_op(OpSpec("softmax", _softmax_forward, _softmax_vjp,
+                   lambda out, x, **k: softmax_flops(np.shape(x)), "norm"))
+register_op(OpSpec("layer_norm", _layer_norm_forward, _layer_norm_vjp,
+                   lambda out, x, *t, **k: normalization_flops(np.shape(x)), "norm"))
+register_op(OpSpec("rms_norm", _rms_norm_forward, _rms_norm_vjp,
+                   lambda out, x, *t, **k: normalization_flops(np.shape(x)), "norm"))
+register_op(OpSpec("batch_norm", _batch_norm_forward, _batch_norm_vjp,
+                   lambda out, x, *t, **k: normalization_flops(np.shape(x)), "norm"))
+register_op(OpSpec("group_norm", _group_norm_forward, _group_norm_vjp,
+                   lambda out, x, *t, **k: normalization_flops(np.shape(x)), "norm"))

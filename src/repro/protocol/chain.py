@@ -1,0 +1,163 @@
+"""Simulated coordination ledger with gas metering.
+
+The paper instantiates the coordinator as Ethereum smart contracts on the
+Holesky testnet and reports coordination cost in kgas (~2M gas per dispute,
+Table 3).  TAO itself does not rely on blockchain assumptions, so this
+reproduction models the ledger as an in-process object that provides exactly
+what the protocol needs from it: an authenticated append-only transaction
+log, block timestamps for challenge windows and per-round timeouts, account
+balances for bonds/escrow, and a gas schedule so coordination cost can be
+accounted the same way the paper reports it.
+
+The gas schedule follows Ethereum's fee rules where they matter for the
+accounting (21k base per transaction, 16 gas per non-zero calldata byte) plus
+per-action execution surcharges tuned so that a typical 11-13 round dispute
+lands near the paper's ~2M gas figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-action gas model used to meter coordinator interactions."""
+
+    base_tx: int = 21_000
+    calldata_per_byte: int = 16
+    storage_write: int = 20_000
+    #: Execution surcharges per protocol action (rough EVM-footprint analogues).
+    action_surcharge: Dict[str, int] = field(default_factory=lambda: {
+        "register_model": 60_000,
+        "submit_result": 45_000,
+        "finalize": 15_000,
+        "open_dispute": 70_000,
+        "post_partition": 40_000,
+        "post_selection": 25_000,
+        "request_adjudication": 30_000,
+        "post_adjudication": 55_000,
+        "slash": 40_000,
+        "committee_vote": 20_000,
+        "merkle_check": 6_000,
+    })
+
+    def cost(self, action: str, calldata_bytes: int = 0, storage_writes: int = 1,
+             merkle_checks: int = 0) -> int:
+        surcharge = self.action_surcharge.get(action, 20_000)
+        return (
+            self.base_tx
+            + self.calldata_per_byte * int(calldata_bytes)
+            + self.storage_write * int(storage_writes)
+            + surcharge
+            + self.action_surcharge["merkle_check"] * int(merkle_checks)
+        )
+
+
+@dataclass
+class Transaction:
+    """One logged coordinator interaction."""
+
+    index: int
+    block: int
+    timestamp: float
+    sender: str
+    action: str
+    gas_used: int
+    payload_bytes: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class SimulatedChain:
+    """Append-only transaction log with block time, balances and gas totals."""
+
+    def __init__(self, gas_schedule: Optional[GasSchedule] = None,
+                 block_interval_s: float = 12.0) -> None:
+        self.gas_schedule = gas_schedule or GasSchedule()
+        self.block_interval_s = float(block_interval_s)
+        self.block_number = 0
+        self.timestamp = 0.0
+        self.transactions: List[Transaction] = []
+        self.balances: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def advance_blocks(self, n_blocks: int = 1) -> None:
+        if n_blocks < 0:
+            raise ValueError("cannot advance a negative number of blocks")
+        self.block_number += int(n_blocks)
+        self.timestamp += self.block_interval_s * int(n_blocks)
+
+    def advance_time(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        blocks = max(int(seconds // self.block_interval_s), 1)
+        self.advance_blocks(blocks)
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    def fund(self, account: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot fund a negative amount")
+        self.balances[account] = self.balances.get(account, 0.0) + float(amount)
+
+    def balance(self, account: str) -> float:
+        return self.balances.get(account, 0.0)
+
+    def transfer(self, source: str, destination: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot transfer a negative amount")
+        if self.balances.get(source, 0.0) < amount - 1e-12:
+            raise ValueError(
+                f"insufficient balance: {source} has {self.balances.get(source, 0.0)}, "
+                f"needs {amount}"
+            )
+        self.balances[source] = self.balances.get(source, 0.0) - amount
+        self.balances[destination] = self.balances.get(destination, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def submit(self, sender: str, action: str, payload_bytes: int = 0,
+               storage_writes: int = 1, merkle_checks: int = 0,
+               details: Optional[Dict[str, object]] = None) -> Transaction:
+        """Record a transaction; returns the logged entry with its gas cost."""
+        gas = self.gas_schedule.cost(action, payload_bytes, storage_writes, merkle_checks)
+        tx = Transaction(
+            index=len(self.transactions),
+            block=self.block_number,
+            timestamp=self.timestamp,
+            sender=sender,
+            action=action,
+            gas_used=gas,
+            payload_bytes=int(payload_bytes),
+            details=dict(details or {}),
+        )
+        self.transactions.append(tx)
+        # Every transaction lands in a (new) block to keep timeouts simple.
+        self.advance_blocks(1)
+        return tx
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def total_gas(self, actions: Optional[List[str]] = None,
+                  since_index: int = 0) -> int:
+        txs = self.transactions[since_index:]
+        if actions is not None:
+            wanted = set(actions)
+            txs = [tx for tx in txs if tx.action in wanted]
+        return int(sum(tx.gas_used for tx in txs))
+
+    def gas_by_action(self, since_index: int = 0) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for tx in self.transactions[since_index:]:
+            out[tx.action] = out.get(tx.action, 0) + tx.gas_used
+        return out

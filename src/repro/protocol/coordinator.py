@@ -1,0 +1,374 @@
+"""Coordinator state machine (the paper's smart-contract layer).
+
+The coordinator records commitments, manages challenge windows and per-round
+dispute timeouts, escrows bonds, and enforces payments/slashing when disputes
+resolve.  Every state transition is a metered transaction on the simulated
+chain, which is how the reproduction accounts on-chain cost (Table 3's kgas
+column).
+
+Only commitments, hashes, indices and verdicts go on chain; tensors are
+exchanged off-chain between proposer and challenger (bound to the chain by
+their hashes inside the subgraph records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.merkle.commitments import ExecutionCommitment, ModelCommitment
+from repro.protocol.chain import SimulatedChain
+
+
+class CoordinatorError(RuntimeError):
+    """Raised when a protocol message violates the coordinator's state machine."""
+
+
+class TaskStatus(str, Enum):
+    PENDING = "pending"                  # submitted, challenge window open
+    FINALIZED = "finalized"              # window elapsed or dispute won by proposer
+    DISPUTED = "disputed"                # a dispute game is in progress
+    PROPOSER_SLASHED = "proposer_slashed"  # dispute lost by the proposer
+    CHALLENGER_SLASHED = "challenger_slashed"  # dispute lost by the challenger
+
+
+class DisputePhase(str, Enum):
+    AWAIT_PARTITION = "await_partition"
+    AWAIT_SELECTION = "await_selection"
+    AWAIT_ADJUDICATION = "await_adjudication"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class TaskRecord:
+    """One execution request tracked by the coordinator."""
+
+    task_id: int
+    model_name: str
+    user: str
+    proposer: str
+    commitment: ExecutionCommitment
+    fee: float
+    proposer_bond: float
+    submitted_at: float
+    challenge_window_s: float
+    status: TaskStatus = TaskStatus.PENDING
+    dispute_id: Optional[int] = None
+
+    @property
+    def challenge_deadline(self) -> float:
+        return self.submitted_at + self.challenge_window_s
+
+
+@dataclass
+class PartitionEntry:
+    """On-chain content of one child in a partition message."""
+
+    slice_start: int
+    slice_end: int
+    h_in: bytes
+    h_out: bytes
+
+
+@dataclass
+class DisputeRecord:
+    """State of one dispute game."""
+
+    dispute_id: int
+    task_id: int
+    challenger: str
+    challenger_bond: float
+    current_start: int
+    current_end: int
+    round_index: int = 0
+    phase: DisputePhase = DisputePhase.AWAIT_PARTITION
+    partitions: List[List[PartitionEntry]] = field(default_factory=list)
+    selections: List[int] = field(default_factory=list)
+    last_action_at: float = 0.0
+    winner: Optional[str] = None
+    adjudication_path: Optional[str] = None
+    adjudication_details: Dict[str, object] = field(default_factory=dict)
+    gas_start_index: int = 0
+
+    @property
+    def current_size(self) -> int:
+        return self.current_end - self.current_start
+
+    @property
+    def at_leaf(self) -> bool:
+        return self.current_size == 1
+
+
+class Coordinator:
+    """The authenticated coordination service (contract analogue)."""
+
+    def __init__(
+        self,
+        chain: Optional[SimulatedChain] = None,
+        challenge_window_s: float = 3600.0,
+        round_timeout_s: float = 600.0,
+        proposer_bond: float = 100.0,
+        challenger_bond: float = 50.0,
+        challenger_reward_share: float = 0.5,
+    ) -> None:
+        self.chain = chain or SimulatedChain()
+        self.challenge_window_s = float(challenge_window_s)
+        self.round_timeout_s = float(round_timeout_s)
+        self.default_proposer_bond = float(proposer_bond)
+        self.default_challenger_bond = float(challenger_bond)
+        self.challenger_reward_share = float(challenger_reward_share)
+
+        self.models: Dict[str, ModelCommitment] = {}
+        self.tasks: Dict[int, TaskRecord] = {}
+        self.disputes: Dict[int, DisputeRecord] = {}
+        self._escrow_account = "coordinator-escrow"
+        self._burn_account = "coordinator-burn"
+
+    # ------------------------------------------------------------------
+    # Phase 0: model registration
+    # ------------------------------------------------------------------
+
+    def register_model(self, commitment: ModelCommitment, owner: str) -> None:
+        if commitment.model_name in self.models:
+            raise CoordinatorError(f"model {commitment.model_name!r} already registered")
+        self.models[commitment.model_name] = commitment.public_view()
+        self.chain.submit(
+            owner, "register_model",
+            payload_bytes=32 * 3 + 64,
+            storage_writes=3,
+            details={"model": commitment.model_name,
+                     "num_operators": commitment.num_operators},
+        )
+
+    def model(self, model_name: str) -> ModelCommitment:
+        try:
+            return self.models[model_name]
+        except KeyError:
+            raise CoordinatorError(f"model {model_name!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    # Phase 1: optimistic execution
+    # ------------------------------------------------------------------
+
+    def submit_result(
+        self,
+        model_name: str,
+        user: str,
+        proposer: str,
+        commitment: ExecutionCommitment,
+        fee: float,
+        proposer_bond: Optional[float] = None,
+    ) -> TaskRecord:
+        self.model(model_name)
+        bond = self.default_proposer_bond if proposer_bond is None else float(proposer_bond)
+        self.chain.transfer(user, self._escrow_account, float(fee))
+        self.chain.transfer(proposer, self._escrow_account, bond)
+        task = TaskRecord(
+            task_id=len(self.tasks),
+            model_name=model_name,
+            user=user,
+            proposer=proposer,
+            commitment=commitment,
+            fee=float(fee),
+            proposer_bond=bond,
+            submitted_at=self.chain.timestamp,
+            challenge_window_s=self.challenge_window_s,
+        )
+        self.tasks[task.task_id] = task
+        self.chain.submit(
+            proposer, "submit_result",
+            payload_bytes=commitment.size_bytes(),
+            storage_writes=2,
+            details={"task_id": task.task_id, "model": model_name},
+        )
+        return task
+
+    def task(self, task_id: int) -> TaskRecord:
+        try:
+            return self.tasks[task_id]
+        except KeyError:
+            raise CoordinatorError(f"unknown task {task_id}") from None
+
+    def try_finalize(self, task_id: int, caller: str) -> bool:
+        """Finalize an unchallenged task after its window; pays the proposer."""
+        task = self.task(task_id)
+        if task.status is not TaskStatus.PENDING:
+            return task.status is TaskStatus.FINALIZED
+        if self.chain.timestamp < task.challenge_deadline:
+            return False
+        task.status = TaskStatus.FINALIZED
+        self.chain.transfer(self._escrow_account, task.proposer, task.fee + task.proposer_bond)
+        self.chain.submit(caller, "finalize", payload_bytes=8,
+                          details={"task_id": task_id})
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 2: dispute lifecycle
+    # ------------------------------------------------------------------
+
+    def open_dispute(self, task_id: int, challenger: str,
+                     challenger_bond: Optional[float] = None) -> DisputeRecord:
+        task = self.task(task_id)
+        if task.status is not TaskStatus.PENDING:
+            raise CoordinatorError(
+                f"task {task_id} cannot be disputed in status {task.status.value}"
+            )
+        if self.chain.timestamp >= task.challenge_deadline:
+            raise CoordinatorError(f"challenge window for task {task_id} has closed")
+        bond = self.default_challenger_bond if challenger_bond is None else float(challenger_bond)
+        self.chain.transfer(challenger, self._escrow_account, bond)
+        num_operators = self.model(task.model_name).num_operators
+        dispute = DisputeRecord(
+            dispute_id=len(self.disputes),
+            task_id=task_id,
+            challenger=challenger,
+            challenger_bond=bond,
+            current_start=0,
+            current_end=num_operators,
+            last_action_at=self.chain.timestamp,
+            gas_start_index=len(self.chain.transactions),
+        )
+        if dispute.at_leaf:
+            # Degenerate single-operator graph: go straight to adjudication.
+            dispute.phase = DisputePhase.AWAIT_ADJUDICATION
+        self.disputes[dispute.dispute_id] = dispute
+        task.status = TaskStatus.DISPUTED
+        task.dispute_id = dispute.dispute_id
+        self.chain.submit(
+            challenger, "open_dispute", payload_bytes=16, storage_writes=2,
+            details={"task_id": task_id, "dispute_id": dispute.dispute_id},
+        )
+        return dispute
+
+    def dispute(self, dispute_id: int) -> DisputeRecord:
+        try:
+            return self.disputes[dispute_id]
+        except KeyError:
+            raise CoordinatorError(f"unknown dispute {dispute_id}") from None
+
+    def post_partition(self, dispute_id: int, proposer: str,
+                       entries: List[PartitionEntry],
+                       payload_bytes: int) -> None:
+        dispute = self.dispute(dispute_id)
+        task = self.task(dispute.task_id)
+        if proposer != task.proposer:
+            raise CoordinatorError("only the task's proposer may post partitions")
+        if dispute.phase is not DisputePhase.AWAIT_PARTITION:
+            raise CoordinatorError(f"dispute {dispute_id} is not awaiting a partition")
+        if dispute.at_leaf:
+            raise CoordinatorError("dispute already localized to a single operator")
+        if not entries:
+            raise CoordinatorError("partition must contain at least one child")
+        if entries[0].slice_start != dispute.current_start or \
+                entries[-1].slice_end != dispute.current_end:
+            raise CoordinatorError("partition does not cover the disputed slice")
+        for prev, nxt in zip(entries, entries[1:]):
+            if prev.slice_end != nxt.slice_start:
+                raise CoordinatorError("partition children must be contiguous and disjoint")
+        dispute.partitions.append(list(entries))
+        dispute.phase = DisputePhase.AWAIT_SELECTION
+        dispute.last_action_at = self.chain.timestamp
+        self.chain.submit(
+            proposer, "post_partition",
+            payload_bytes=payload_bytes,
+            storage_writes=1,
+            details={"dispute_id": dispute_id, "round": dispute.round_index,
+                     "num_children": len(entries)},
+        )
+
+    def post_selection(self, dispute_id: int, challenger: str, child_index: int) -> None:
+        dispute = self.dispute(dispute_id)
+        if challenger != dispute.challenger:
+            raise CoordinatorError("only the dispute's challenger may post selections")
+        if dispute.phase is not DisputePhase.AWAIT_SELECTION:
+            raise CoordinatorError(f"dispute {dispute_id} is not awaiting a selection")
+        children = dispute.partitions[-1]
+        if not 0 <= child_index < len(children):
+            raise CoordinatorError(f"selected child {child_index} out of range")
+        chosen = children[child_index]
+        dispute.selections.append(int(child_index))
+        dispute.current_start = chosen.slice_start
+        dispute.current_end = chosen.slice_end
+        dispute.round_index += 1
+        dispute.last_action_at = self.chain.timestamp
+        dispute.phase = (
+            DisputePhase.AWAIT_ADJUDICATION if dispute.at_leaf else DisputePhase.AWAIT_PARTITION
+        )
+        self.chain.submit(
+            challenger, "post_selection", payload_bytes=8,
+            details={"dispute_id": dispute_id, "child": child_index,
+                     "slice": [chosen.slice_start, chosen.slice_end]},
+        )
+
+    def enforce_timeout(self, dispute_id: int, caller: str) -> Optional[str]:
+        """Resolve a dispute by timeout; returns the losing party name if any."""
+        dispute = self.dispute(dispute_id)
+        if dispute.phase is DisputePhase.RESOLVED:
+            return None
+        if self.chain.timestamp - dispute.last_action_at < self.round_timeout_s:
+            return None
+        task = self.task(dispute.task_id)
+        if dispute.phase is DisputePhase.AWAIT_PARTITION:
+            loser = task.proposer
+            self._resolve(dispute, task, proposer_cheated=True, path="timeout")
+        else:
+            loser = dispute.challenger
+            self._resolve(dispute, task, proposer_cheated=False, path="timeout")
+        self.chain.submit(caller, "slash", payload_bytes=8,
+                          details={"dispute_id": dispute_id, "timeout_loser": loser})
+        return loser
+
+    # ------------------------------------------------------------------
+    # Phase 3: adjudication and settlement
+    # ------------------------------------------------------------------
+
+    def post_adjudication(self, dispute_id: int, caller: str, proposer_cheated: bool,
+                          path: str, details: Optional[Dict[str, object]] = None) -> None:
+        dispute = self.dispute(dispute_id)
+        if dispute.phase is not DisputePhase.AWAIT_ADJUDICATION:
+            raise CoordinatorError(f"dispute {dispute_id} is not awaiting adjudication")
+        task = self.task(dispute.task_id)
+        dispute.adjudication_path = path
+        dispute.adjudication_details = dict(details or {})
+        self.chain.submit(
+            caller, "post_adjudication", payload_bytes=64,
+            details={"dispute_id": dispute_id, "path": path,
+                     "proposer_cheated": proposer_cheated},
+        )
+        self._resolve(dispute, task, proposer_cheated=proposer_cheated, path=path)
+
+    def _resolve(self, dispute: DisputeRecord, task: TaskRecord,
+                 proposer_cheated: bool, path: str) -> None:
+        dispute.phase = DisputePhase.RESOLVED
+        dispute.adjudication_path = dispute.adjudication_path or path
+        if proposer_cheated:
+            dispute.winner = dispute.challenger
+            task.status = TaskStatus.PROPOSER_SLASHED
+            reward = self.challenger_reward_share * task.proposer_bond
+            self.chain.transfer(self._escrow_account, dispute.challenger,
+                                reward + dispute.challenger_bond)
+            self.chain.transfer(self._escrow_account, self._burn_account,
+                                task.proposer_bond - reward)
+            self.chain.transfer(self._escrow_account, task.user, task.fee)
+        else:
+            dispute.winner = task.proposer
+            task.status = TaskStatus.CHALLENGER_SLASHED
+            self.chain.transfer(self._escrow_account, task.proposer,
+                                task.fee + task.proposer_bond + dispute.challenger_bond)
+        self.chain.submit(
+            "coordinator", "slash", payload_bytes=32,
+            details={"dispute_id": dispute.dispute_id, "winner": dispute.winner},
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+
+    def dispute_gas(self, dispute_id: int) -> int:
+        dispute = self.dispute(dispute_id)
+        return self.chain.total_gas(since_index=dispute.gas_start_index)
+
+    def dispute_gas_by_action(self, dispute_id: int) -> Dict[str, int]:
+        dispute = self.dispute(dispute_id)
+        return self.chain.gas_by_action(since_index=dispute.gas_start_index)

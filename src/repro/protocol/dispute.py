@@ -1,0 +1,260 @@
+"""The N-way, Merkle-anchored, threshold-guided dispute game (paper Sec. 5.3).
+
+Each round the proposer deterministically partitions the disputed operator
+range into N contiguous children and posts their interface commitments; the
+challenger re-executes the children from the committed live-in tensors and
+selects the first child whose live-out errors exceed the calibrated
+thresholds (Eq. 15); the coordinator advances the state and enforces
+timeouts.  After ``O(log_N |V|)`` rounds the dispute reaches a single
+operator and Phase 3 adjudication resolves it.
+
+:class:`DisputeGame` orchestrates the exchange between role objects and the
+coordinator, and collects the statistics reported in Fig. 8 and Table 3:
+round counts, per-round substep latency, Merkle-proof checks, challenger
+FLOPs (DCR) and on-chain gas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bounds.fp_model import BoundMode
+from repro.calibration.thresholds import ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.node import Node
+from repro.graph.subgraph import SubgraphSlice
+from repro.merkle.commitments import ModelCommitment
+from repro.protocol.adjudication import (
+    AdjudicationResult,
+    committee_vote,
+    route_and_adjudicate,
+    theoretical_bound_check,
+)
+from repro.protocol.coordinator import Coordinator, PartitionEntry, TaskRecord
+from repro.protocol.roles import Challenger, CommitteeMember, ProposedResult, Proposer
+
+
+@dataclass
+class RoundStatistics:
+    """Per-round substep accounting (Fig. 8 right panel)."""
+
+    round_index: int
+    slice_start: int
+    slice_end: int
+    num_children: int
+    selected_child: Optional[int]
+    partition_time_s: float
+    selection_time_s: float
+    merkle_checks: int
+    challenger_flops: float
+
+
+@dataclass
+class DisputeStatistics:
+    """Aggregate dispute-game statistics (Fig. 8, Table 3)."""
+
+    rounds: int
+    dispute_time_s: float
+    merkle_checks: int
+    challenger_flops: float
+    adjudication_flops: float
+    gas_used: int
+    per_round: List[RoundStatistics] = field(default_factory=list)
+
+    @property
+    def dcr_flops(self) -> float:
+        """Challenger FLOPs to reach and adjudicate the leaf (the paper's DCR)."""
+        return self.challenger_flops + self.adjudication_flops
+
+    def cost_ratio(self, forward_flops: float) -> float:
+        if forward_flops <= 0:
+            return float("nan")
+        return self.dcr_flops / forward_flops
+
+
+@dataclass
+class DisputeOutcome:
+    """Final result of one dispute game."""
+
+    dispute_id: int
+    task_id: int
+    proposer_cheated: bool
+    winner: str
+    localized_operator: Optional[str]
+    adjudication: Optional[AdjudicationResult]
+    statistics: DisputeStatistics
+    resolved_by_timeout: bool = False
+
+
+class DisputeGame:
+    """Drives one dispute between a proposer and a challenger via the coordinator."""
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        graph_module: GraphModule,
+        model_commitment: ModelCommitment,
+        thresholds: ThresholdTable,
+        committee: Sequence[CommitteeMember] = (),
+        n_way: int = 2,
+        bound_mode: BoundMode = BoundMode.PROBABILISTIC,
+        leaf_path: str = "routed",
+    ) -> None:
+        if n_way < 2:
+            raise ValueError("the dispute game requires an N-way partition with N >= 2")
+        if leaf_path not in ("routed", "theoretical", "committee"):
+            raise ValueError(f"unknown leaf adjudication path {leaf_path!r}")
+        self.coordinator = coordinator
+        self.graph_module = graph_module
+        self.model_commitment = model_commitment
+        self.thresholds = thresholds
+        self.committee = list(committee)
+        self.n_way = int(n_way)
+        self.bound_mode = bound_mode
+        self.leaf_path = leaf_path
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        task: TaskRecord,
+        proposer: Proposer,
+        challenger: Challenger,
+        result: ProposedResult,
+    ) -> DisputeOutcome:
+        """Play the dispute game for ``task`` until resolution."""
+        challenger.reset_accounting()
+        dispute = self.coordinator.open_dispute(task.task_id, challenger.name)
+        per_round: List[RoundStatistics] = []
+        resolved_by_timeout = False
+
+        while not dispute.at_leaf and dispute.phase.value != "resolved":
+            slice_ = SubgraphSlice(dispute.current_start, dispute.current_end)
+            partition_before = proposer.stopwatch.total("proposer_partition")
+            records = proposer.partition(
+                self.graph_module, self.model_commitment, result, slice_, self.n_way
+            )
+            partition_time = proposer.stopwatch.total("proposer_partition") - partition_before
+
+            entries = [
+                PartitionEntry(r.slice_start, r.slice_end, r.h_in, r.h_out) for r in records
+            ]
+            onchain_bytes = 16 + 80 * len(entries)
+            self.coordinator.post_partition(dispute.dispute_id, proposer.name, entries,
+                                            payload_bytes=onchain_bytes)
+
+            selection_before = challenger.stopwatch.total("challenger_selection")
+            outcome = challenger.select_offending(
+                self.graph_module, self.model_commitment, records
+            )
+            selection_time = challenger.stopwatch.total("challenger_selection") - selection_before
+
+            per_round.append(RoundStatistics(
+                round_index=dispute.round_index,
+                slice_start=slice_.start,
+                slice_end=slice_.end,
+                num_children=len(records),
+                selected_child=outcome.selected_index,
+                partition_time_s=partition_time,
+                selection_time_s=selection_time,
+                merkle_checks=outcome.merkle_checks,
+                challenger_flops=outcome.flops,
+            ))
+
+            if outcome.selected_index is None:
+                # No child exceeds the thresholds: the challenger cannot make
+                # progress and (per protocol) loses the round by timing out.
+                self.coordinator.chain.advance_time(self.coordinator.round_timeout_s + 1.0)
+                self.coordinator.enforce_timeout(dispute.dispute_id, challenger.name)
+                resolved_by_timeout = True
+                break
+            self.coordinator.post_selection(dispute.dispute_id, challenger.name,
+                                            outcome.selected_index)
+
+        adjudication: Optional[AdjudicationResult] = None
+        localized_operator: Optional[str] = None
+        adjudication_flops = 0.0
+
+        if dispute.phase.value == "await_adjudication":
+            localized_operator, operand_values, proposer_output = self._leaf_state(result, dispute)
+            adjudication = self._adjudicate(localized_operator, operand_values,
+                                            proposer_output, challenger)
+            adjudication_flops = adjudication.flops
+            self.coordinator.post_adjudication(
+                dispute.dispute_id, challenger.name,
+                proposer_cheated=adjudication.proposer_cheated,
+                path=adjudication.path,
+                details=dict(adjudication.details),
+            )
+
+        statistics = DisputeStatistics(
+            rounds=len(per_round),
+            dispute_time_s=sum(r.partition_time_s + r.selection_time_s for r in per_round),
+            merkle_checks=sum(r.merkle_checks for r in per_round),
+            challenger_flops=challenger.dispute_flops,
+            adjudication_flops=adjudication_flops,
+            gas_used=self.coordinator.dispute_gas(dispute.dispute_id),
+            per_round=per_round,
+        )
+        task_record = self.coordinator.task(task.task_id)
+        proposer_cheated = task_record.status.value == "proposer_slashed"
+        winner = challenger.name if proposer_cheated else proposer.name
+        return DisputeOutcome(
+            dispute_id=dispute.dispute_id,
+            task_id=task.task_id,
+            proposer_cheated=proposer_cheated,
+            winner=winner,
+            localized_operator=localized_operator,
+            adjudication=adjudication,
+            statistics=statistics,
+            resolved_by_timeout=resolved_by_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Leaf handling
+    # ------------------------------------------------------------------
+
+    def _leaf_state(self, result: ProposedResult, dispute) -> Tuple[str, List[np.ndarray], np.ndarray]:
+        """Resolve the localized operator, its agreed inputs and the claimed output.
+
+        The inputs come from the proposer's committed trace: by construction
+        of the selection rule, every value upstream of the localized operator
+        has been implicitly accepted by the challenger.
+        """
+        operator = self.graph_module.graph.operators[dispute.current_start]
+        operand_values: List[np.ndarray] = []
+        for arg in operator.args:
+            if isinstance(arg, Node):
+                if arg.op == "get_param":
+                    operand_values.append(np.asarray(self.graph_module.parameters[arg.target]))
+                elif arg.op == "constant":
+                    operand_values.append(np.asarray(self.graph_module.graph.constants[arg.target]))
+                else:
+                    operand_values.append(np.asarray(result.trace_values[arg.name]))
+            else:
+                operand_values.append(arg)
+        proposer_output = np.asarray(result.trace_values[operator.name])
+        return operator.name, operand_values, proposer_output
+
+    def _adjudicate(self, operator_name: str, operand_values: Sequence[np.ndarray],
+                    proposer_output: np.ndarray, challenger: Challenger) -> AdjudicationResult:
+        if self.leaf_path == "theoretical":
+            return theoretical_bound_check(
+                self.graph_module, operator_name, operand_values, proposer_output,
+                device=challenger.device, mode=self.bound_mode,
+            )
+        if self.leaf_path == "committee":
+            return committee_vote(
+                self.graph_module, operator_name, operand_values, proposer_output,
+                self.committee, self.thresholds,
+            )
+        return route_and_adjudicate(
+            self.graph_module, operator_name, operand_values, proposer_output,
+            challenger_device=challenger.device, committee=self.committee,
+            thresholds=self.thresholds, mode=self.bound_mode,
+        )

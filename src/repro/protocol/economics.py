@@ -1,0 +1,220 @@
+"""Economic soundness and incentives (paper Sec. 5.5).
+
+Implements the fee-and-deposit payoff model: proposer strategies (honest,
+cheap cheating, targeted cheating), voluntary challengers, and the audit
+committee, together with the detection probability
+``d(phi, phi_ch, eps1) = (phi + phi_ch) (1 - eps1)`` and the feasibility
+region for the slashing amount ``S_slash`` (Eqs. 16-25 and the L1/L2/L3
+lower bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def detection_probability(phi_audit: float, phi_challenge: float, epsilon_fn: float) -> float:
+    """``d(phi, phi_ch, eps1) = (phi + phi_ch) * (1 - eps1)`` (Eq. 16)."""
+    if not 0.0 <= phi_audit <= 1.0 or not 0.0 <= phi_challenge <= 1.0:
+        raise ValueError("detection channel probabilities must lie in [0, 1]")
+    if phi_audit + phi_challenge > 1.0 + 1e-12:
+        raise ValueError("phi + phi_ch must not exceed 1 (mutually exclusive channels)")
+    if not 0.0 <= epsilon_fn < 1.0:
+        raise ValueError("false negative rate must lie in [0, 1)")
+    return (phi_audit + phi_challenge) * (1.0 - epsilon_fn)
+
+
+@dataclass(frozen=True)
+class EconomicParameters:
+    """All knobs of the incentive mechanism."""
+
+    task_reward: float = 100.0          # R_p
+    honest_cost: float = 60.0           # C_p
+    cheap_cheat_cost: float = 20.0      # C'_p (e.g. running a smaller model)
+    targeted_cheat_cost: float = 5000.0  # C''_p (adversarial perturbation search)
+    challenge_cost: float = 70.0        # C_ch (re-execution + leaf verification)
+    committee_member_cost: float = 5.0  # C_a
+    committee_size: int = 5             # n
+    committee_fee: float = 8.0          # F_i paid when the claim is ruled clean
+    challenger_reward_share: float = 0.5   # alpha_ch
+    committee_reward_share: float = 0.3    # alpha_cm
+    audit_probability: float = 0.2      # phi
+    challenge_probability: float = 0.3  # phi_ch
+    false_negative_rate: float = 0.05   # eps1
+    false_positive_rate: float = 0.0    # eps2
+    proposer_deposit: float = 1000.0    # D_p
+    challenger_deposit: float = 50.0    # D_ch
+
+    def __post_init__(self) -> None:
+        if self.challenger_reward_share <= 0 or self.challenger_reward_share > 1:
+            raise ValueError("alpha_ch must lie in (0, 1]")
+        if self.committee_reward_share <= 0 or self.committee_reward_share > 1:
+            raise ValueError("alpha_cm must lie in (0, 1]")
+        if self.challenger_reward_share + self.committee_reward_share > 1.0 + 1e-12:
+            raise ValueError("alpha_ch + alpha_cm must not exceed 1")
+        if self.committee_size < 1:
+            raise ValueError("committee size must be at least 1")
+
+    @property
+    def detection(self) -> float:
+        return detection_probability(self.audit_probability, self.challenge_probability,
+                                     self.false_negative_rate)
+
+
+# ---------------------------------------------------------------------------
+# Payoffs (Eqs. 17-25)
+# ---------------------------------------------------------------------------
+
+def proposer_payoff_honest(params: EconomicParameters, slash: float) -> float:
+    """``u_p(h) = R_p - C_p - eps2 * S_slash`` (Eq. 17)."""
+    return params.task_reward - params.honest_cost - params.false_positive_rate * slash
+
+
+def proposer_payoff_cheap_cheat(params: EconomicParameters, slash: float) -> float:
+    """``u_p(c1) = R_p - C'_p - d * S_slash`` (Eq. 18)."""
+    return params.task_reward - params.cheap_cheat_cost - params.detection * slash
+
+
+def proposer_payoff_targeted_cheat(params: EconomicParameters) -> float:
+    """``u_p(c2) = R_p - C''_p`` (Eq. 19) — empirically C''_p >> R_p."""
+    return params.task_reward - params.targeted_cheat_cost
+
+
+def challenger_payoff(params: EconomicParameters, slash: float, proposer_guilty: bool) -> float:
+    """Eqs. 21-22."""
+    if proposer_guilty:
+        return (1.0 - params.false_negative_rate) * params.challenger_reward_share * slash \
+            - params.challenge_cost
+    return -params.challenge_cost - (1.0 - params.false_positive_rate) * params.challenger_deposit
+
+
+def committee_member_payoff(params: EconomicParameters, slash: float, ruled_guilty: bool) -> float:
+    """Eqs. 24-25."""
+    if ruled_guilty:
+        return params.committee_reward_share * slash / params.committee_size \
+            - params.committee_member_cost
+    return params.committee_fee - params.committee_member_cost
+
+
+# ---------------------------------------------------------------------------
+# Feasibility of the slashing amount
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SlashFeasibility:
+    """The feasible interval (L, D_p] for S_slash, with its three lower bounds."""
+
+    l1_deter_cheap_cheat: float
+    l2_profitable_challenge: float
+    l3_committee_participation: float
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.lower_bound < self.upper_bound
+
+    def contains(self, slash: float) -> bool:
+        return self.lower_bound < slash <= self.upper_bound
+
+
+def feasible_slash_region(params: EconomicParameters) -> SlashFeasibility:
+    """Compute L = max(L1, L2, L3) and the feasible region (L, D_p]."""
+    detection = params.detection
+    denom = detection - params.false_positive_rate
+    if denom <= 0:
+        l1 = float("inf")
+    else:
+        l1 = (params.honest_cost - params.cheap_cheat_cost) / denom
+    l2 = params.challenge_cost / (params.challenger_reward_share
+                                  * (1.0 - params.false_negative_rate))
+    l3 = params.committee_size * params.committee_member_cost / params.committee_reward_share
+    lower = max(l1, l2, l3)
+    return SlashFeasibility(
+        l1_deter_cheap_cheat=l1,
+        l2_profitable_challenge=l2,
+        l3_committee_participation=l3,
+        lower_bound=lower,
+        upper_bound=params.proposer_deposit,
+    )
+
+
+@dataclass
+class IncentiveAnalysis:
+    """Summary of incentive-compatibility checks for a chosen S_slash."""
+
+    slash: float
+    honest_payoff: float
+    cheap_cheat_payoff: float
+    targeted_cheat_payoff: float
+    challenger_payoff_guilty: float
+    challenger_payoff_clean: float
+    committee_payoff_guilty: float
+    committee_payoff_clean: float
+    honest_is_rational: bool
+    honesty_beats_cheap_cheating: bool
+    targeted_cheating_unprofitable: bool
+    challenging_fraud_profitable: bool
+    spamming_unprofitable: bool
+    committee_sustainable: bool
+    feasibility: SlashFeasibility
+
+    @property
+    def incentive_compatible(self) -> bool:
+        return (self.honest_is_rational
+                and self.honesty_beats_cheap_cheating
+                and self.targeted_cheating_unprofitable
+                and self.challenging_fraud_profitable
+                and self.spamming_unprofitable
+                and self.committee_sustainable)
+
+
+def analyze_incentives(params: EconomicParameters,
+                       slash: Optional[float] = None) -> IncentiveAnalysis:
+    """Evaluate every incentive constraint for ``slash`` (default: midpoint of
+    the feasible region, or the proposer deposit when the region is empty)."""
+    region = feasible_slash_region(params)
+    if slash is None:
+        if region.feasible:
+            slash = min((region.lower_bound + region.upper_bound) / 2.0 + 1e-9,
+                        region.upper_bound)
+        else:
+            slash = region.upper_bound
+
+    u_h = proposer_payoff_honest(params, slash)
+    u_c1 = proposer_payoff_cheap_cheat(params, slash)
+    u_c2 = proposer_payoff_targeted_cheat(params)
+    u_ch_guilty = challenger_payoff(params, slash, proposer_guilty=True)
+    u_ch_clean = challenger_payoff(params, slash, proposer_guilty=False)
+    u_cm_guilty = committee_member_payoff(params, slash, ruled_guilty=True)
+    u_cm_clean = committee_member_payoff(params, slash, ruled_guilty=False)
+
+    return IncentiveAnalysis(
+        slash=float(slash),
+        honest_payoff=u_h,
+        cheap_cheat_payoff=u_c1,
+        targeted_cheat_payoff=u_c2,
+        challenger_payoff_guilty=u_ch_guilty,
+        challenger_payoff_clean=u_ch_clean,
+        committee_payoff_guilty=u_cm_guilty,
+        committee_payoff_clean=u_cm_clean,
+        honest_is_rational=u_h >= 0.0,
+        honesty_beats_cheap_cheating=u_h > u_c1,
+        targeted_cheating_unprofitable=u_c2 <= 0.0,
+        challenging_fraud_profitable=u_ch_guilty > 0.0,
+        spamming_unprofitable=u_ch_clean <= 0.0,
+        committee_sustainable=(u_cm_guilty > 0.0 and u_cm_clean > 0.0),
+        feasibility=region,
+    )
+
+
+def slash_region_sweep(params: EconomicParameters, slashes: List[float]
+                       ) -> List[Tuple[float, bool]]:
+    """Evaluate incentive compatibility across candidate slash values."""
+    out: List[Tuple[float, bool]] = []
+    for slash in slashes:
+        analysis = analyze_incentives(params, slash=slash)
+        out.append((float(slash), analysis.incentive_compatible
+                    and analysis.feasibility.contains(slash)))
+    return out

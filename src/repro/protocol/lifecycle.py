@@ -1,0 +1,212 @@
+"""End-to-end protocol lifecycle (paper Sec. 2.2, Phases 0-3).
+
+:class:`TAOSession` is the highest-level entry point of the library: it wires
+together calibration, commitments, the coordinator, and the role objects, and
+exposes two operations that mirror the protocol's life of a request:
+
+* :meth:`TAOSession.setup` — Phase 0: calibrate empirical thresholds across
+  the device fleet, commit weights/graph/thresholds, register with the
+  coordinator;
+* :meth:`TAOSession.run_request` — Phases 1-3: the proposer executes and
+  commits, the challenger re-executes and (if the committed thresholds are
+  exceeded) opens a dispute that is localized and adjudicated.
+
+Examples and benchmarks drive the system exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bounds.fp_model import BoundMode
+from repro.calibration.calibrator import CalibrationConfig, CalibrationResult, Calibrator
+from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.merkle.commitments import ModelCommitment, commit_model
+from repro.protocol.coordinator import Coordinator, TaskRecord
+from repro.protocol.dispute import DisputeGame, DisputeOutcome
+from repro.protocol.roles import (
+    AdversarialProposer,
+    Challenger,
+    CommitteeMember,
+    HonestProposer,
+    ProposedResult,
+    Proposer,
+    User,
+)
+from repro.tensorlib.device import DEVICE_FLEET, DeviceProfile
+
+
+@dataclass
+class SessionReport:
+    """Everything that happened to one request."""
+
+    task: TaskRecord
+    result: ProposedResult
+    challenged: bool
+    finalized_optimistically: bool
+    verification_reports: List[ExceedanceReport] = field(default_factory=list)
+    dispute: Optional[DisputeOutcome] = None
+
+    @property
+    def proposer_cheated(self) -> bool:
+        return bool(self.dispute and self.dispute.proposer_cheated)
+
+    @property
+    def final_status(self) -> str:
+        return self.task.status.value
+
+
+class TAOSession:
+    """Wires the full TAO pipeline together for one committed model."""
+
+    def __init__(
+        self,
+        graph_module: GraphModule,
+        calibration_inputs: Optional[Iterable[Dict[str, np.ndarray]]] = None,
+        threshold_table: Optional[ThresholdTable] = None,
+        calibration_result: Optional[CalibrationResult] = None,
+        devices: Sequence[DeviceProfile] = DEVICE_FLEET,
+        coordinator: Optional[Coordinator] = None,
+        alpha: float = 3.0,
+        n_way: int = 2,
+        committee_size: int = 3,
+        bound_mode: BoundMode = BoundMode.PROBABILISTIC,
+        leaf_path: str = "routed",
+        initial_balance: float = 10_000.0,
+    ) -> None:
+        self.graph_module = graph_module
+        self.devices = tuple(devices)
+        self.coordinator = coordinator or Coordinator()
+        self.alpha = float(alpha)
+        self.n_way = int(n_way)
+        self.committee_size = int(committee_size)
+        self.bound_mode = bound_mode
+        self.leaf_path = leaf_path
+        self.initial_balance = float(initial_balance)
+
+        self._calibration_inputs = list(calibration_inputs) if calibration_inputs is not None else None
+        self.calibration: Optional[CalibrationResult] = calibration_result
+        self.thresholds: Optional[ThresholdTable] = threshold_table
+        self.model_commitment: Optional[ModelCommitment] = None
+        self.committee: List[CommitteeMember] = []
+        self._is_setup = False
+
+    # ------------------------------------------------------------------
+    # Phase 0
+    # ------------------------------------------------------------------
+
+    def setup(self, owner: str = "model-owner") -> ModelCommitment:
+        """Calibrate (if necessary), commit the model and register it."""
+        if self.thresholds is None:
+            if self.calibration is None:
+                if self._calibration_inputs is None:
+                    raise ValueError(
+                        "setup requires calibration inputs, a calibration result, "
+                        "or a pre-built threshold table"
+                    )
+                calibrator = Calibrator(CalibrationConfig(devices=self.devices))
+                self.calibration = calibrator.calibrate(
+                    self.graph_module, self._calibration_inputs
+                )
+            self.thresholds = ThresholdTable.from_calibration(self.calibration, alpha=self.alpha)
+
+        self.model_commitment = commit_model(
+            self.graph_module, self.thresholds,
+            metadata={"alpha": self.alpha, "num_operators": self.graph_module.num_operators},
+        )
+        self.coordinator.chain.fund(owner, self.initial_balance)
+        self.coordinator.register_model(self.model_commitment, owner=owner)
+
+        self.committee = [
+            CommitteeMember(f"committee-{i}", self.devices[i % len(self.devices)])
+            for i in range(self.committee_size)
+        ]
+        self._is_setup = True
+        return self.model_commitment
+
+    def require_setup(self) -> None:
+        if not self._is_setup:
+            raise RuntimeError("TAOSession.setup() must be called before running requests")
+
+    # ------------------------------------------------------------------
+    # Role factories
+    # ------------------------------------------------------------------
+
+    def make_user(self, name: str = "user", fee: float = 10.0) -> User:
+        self.coordinator.chain.fund(name, self.initial_balance)
+        return User(name=name, fee_per_request=fee)
+
+    def make_honest_proposer(self, name: str = "proposer",
+                             device: Optional[DeviceProfile] = None) -> HonestProposer:
+        self.coordinator.chain.fund(name, self.initial_balance)
+        return HonestProposer(name, device or self.devices[0])
+
+    def make_adversarial_proposer(self, name: str, perturbations,
+                                  device: Optional[DeviceProfile] = None) -> AdversarialProposer:
+        self.coordinator.chain.fund(name, self.initial_balance)
+        return AdversarialProposer(name, device or self.devices[0], perturbations)
+
+    def make_challenger(self, name: str = "challenger",
+                        device: Optional[DeviceProfile] = None) -> Challenger:
+        self.require_setup()
+        self.coordinator.chain.fund(name, self.initial_balance)
+        return Challenger(name, device or self.devices[-1], self.thresholds)
+
+    # ------------------------------------------------------------------
+    # Phases 1-3
+    # ------------------------------------------------------------------
+
+    def run_request(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        proposer: Proposer,
+        challenger: Optional[Challenger] = None,
+        user: Optional[User] = None,
+        force_challenge: bool = False,
+    ) -> SessionReport:
+        """Serve one request end to end.
+
+        The challenger re-executes and opens a dispute only when its committed
+        thresholds flag the result (or when ``force_challenge`` is set, which
+        models a spamming / overly eager challenger).
+        """
+        self.require_setup()
+        user = user or self.make_user()
+        challenger = challenger or self.make_challenger()
+
+        result = proposer.execute(self.graph_module, self.model_commitment, inputs)
+        task = self.coordinator.submit_result(
+            self.graph_module.name, user.name, proposer.name, result.commitment,
+            fee=user.fee_per_request,
+        )
+
+        looks_honest, reports = challenger.verify_result(self.graph_module, result)
+        should_challenge = force_challenge or not looks_honest
+        if not should_challenge:
+            self.coordinator.chain.advance_time(self.coordinator.challenge_window_s + 1.0)
+            self.coordinator.try_finalize(task.task_id, caller=proposer.name)
+            return SessionReport(
+                task=task, result=result, challenged=False,
+                finalized_optimistically=True, verification_reports=reports,
+            )
+
+        game = DisputeGame(
+            coordinator=self.coordinator,
+            graph_module=self.graph_module,
+            model_commitment=self.model_commitment,
+            thresholds=self.thresholds,
+            committee=self.committee,
+            n_way=self.n_way,
+            bound_mode=self.bound_mode,
+            leaf_path=self.leaf_path,
+        )
+        outcome = game.run(task, proposer, challenger, result)
+        return SessionReport(
+            task=task, result=result, challenged=True,
+            finalized_optimistically=False, verification_reports=reports,
+            dispute=outcome,
+        )

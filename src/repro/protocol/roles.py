@@ -1,0 +1,324 @@
+"""Protocol roles: user, proposer (honest and adversarial), challenger, committee.
+
+The roles encapsulate *who computes what on which device*:
+
+* the **proposer** executes the committed graph on its own device, records the
+  intermediate trace, and posts the execution commitment; an adversarial
+  proposer additionally injects perturbations into chosen intermediate
+  tensors (the attack surface of Sec. 4);
+* the **challenger** re-executes on its own device, raises disputes when the
+  final outputs exceed the committed thresholds, and drives the selection
+  rule during the dispute game, accumulating the FLOPs that define the
+  paper's DCR metric;
+* **committee members** re-execute a single operator at the leaf and vote
+  against the empirical thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.interpreter import ExecutionTrace, Interpreter
+from repro.graph.subgraph import SubgraphSlice, extract_subgraph
+from repro.merkle.commitments import (
+    ExecutionCommitment,
+    ModelCommitment,
+    SubgraphRecord,
+    make_execution_commitment,
+    make_subgraph_record,
+    verify_subgraph_record,
+)
+from repro.tensorlib.device import DeviceProfile
+from repro.utils.timing import Stopwatch
+
+PerturbationSpec = Union[np.ndarray, Callable[[np.ndarray], np.ndarray]]
+
+
+@dataclass
+class User:
+    """Submits inference requests and pays the service fee."""
+
+    name: str
+    fee_per_request: float = 10.0
+
+
+@dataclass
+class ProposedResult:
+    """Everything the proposer produces for one request.
+
+    The commitment goes on chain; the trace values are the off-chain data the
+    challenger pulls during a dispute (bound to the chain by interface
+    hashes inside subgraph records).
+    """
+
+    model_name: str
+    inputs: Dict[str, np.ndarray]
+    outputs: Tuple[np.ndarray, ...]
+    output_names: Tuple[str, ...]
+    trace_values: Dict[str, np.ndarray]
+    commitment: ExecutionCommitment
+    forward_flops: float
+    wall_time_s: float
+    device_name: str
+
+
+class Proposer:
+    """Base proposer: executes the model and commits to the result."""
+
+    def __init__(self, name: str, device: DeviceProfile) -> None:
+        self.name = name
+        self.device = device
+        self.interpreter = Interpreter(device)
+        self.stopwatch = Stopwatch()
+
+    # -- execution -------------------------------------------------------
+
+    def _overrides_for(self, graph_module: GraphModule,
+                       inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Hook for adversarial subclasses; honest proposers never override."""
+        return {}
+
+    def execute(self, graph_module: GraphModule, model_commitment: ModelCommitment,
+                inputs: Mapping[str, np.ndarray]) -> ProposedResult:
+        overrides = self._overrides_for(graph_module, inputs)
+        trace = self.interpreter.run(
+            graph_module, dict(inputs), record=True, count_flops=True, overrides=overrides
+        )
+        commitment = make_execution_commitment(
+            model_commitment, dict(inputs), list(trace.outputs),
+            meta={
+                "device": self.device.name,
+                "dtype": "float32",
+                "proposer": self.name,
+                "kernel_stack": self.device.signature(),
+            },
+        )
+        return ProposedResult(
+            model_name=graph_module.name,
+            inputs=dict(inputs),
+            outputs=trace.outputs,
+            output_names=trace.output_names,
+            trace_values=dict(trace.values),
+            commitment=commitment,
+            forward_flops=trace.flops.total,
+            wall_time_s=trace.wall_time_s,
+            device_name=self.device.name,
+        )
+
+    # -- dispute participation -------------------------------------------
+
+    def partition(
+        self,
+        graph_module: GraphModule,
+        model_commitment: ModelCommitment,
+        result: ProposedResult,
+        slice_: SubgraphSlice,
+        n_way: int,
+    ) -> List[SubgraphRecord]:
+        """Deterministic N-way partition of the disputed slice (Sec. 5.3)."""
+        with self.stopwatch.measure("proposer_partition"):
+            children = slice_.split(n_way)
+            records = [
+                make_subgraph_record(graph_module, model_commitment, child,
+                                     result.trace_values)
+                for child in children
+            ]
+        return records
+
+
+class HonestProposer(Proposer):
+    """Executes the committed model faithfully on its device."""
+
+
+class AdversarialProposer(Proposer):
+    """A proposer that injects perturbations into chosen intermediate tensors.
+
+    ``perturbations`` maps operator node names to either an additive delta
+    array (matching the node's output shape) or a callable mapping the honest
+    output to the perturbed output.  Downstream operators consume the
+    perturbed values, so the committed trace is self-consistent — the cheat
+    is only detectable by comparing against an independent re-execution,
+    exactly the paper's threat model.
+    """
+
+    def __init__(self, name: str, device: DeviceProfile,
+                 perturbations: Optional[Dict[str, PerturbationSpec]] = None) -> None:
+        super().__init__(name, device)
+        self.perturbations: Dict[str, PerturbationSpec] = dict(perturbations or {})
+
+    def set_perturbation(self, node_name: str, spec: PerturbationSpec) -> None:
+        self.perturbations[node_name] = spec
+
+    def clear_perturbations(self) -> None:
+        self.perturbations.clear()
+
+    def _overrides_for(self, graph_module: GraphModule,
+                       inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        if not self.perturbations:
+            return {}
+        # Run honestly first to know each node's honest value, then apply the
+        # perturbation spec on top.  (A real adversary does the same thing:
+        # compute, then tamper.)
+        honest = self.interpreter.run(graph_module, dict(inputs), record=True)
+        overrides: Dict[str, np.ndarray] = {}
+        for node_name, spec in self.perturbations.items():
+            if node_name not in honest.values:
+                raise KeyError(f"cannot perturb unknown node {node_name!r}")
+            base = np.asarray(honest.values[node_name], dtype=np.float32)
+            if callable(spec):
+                overrides[node_name] = np.asarray(spec(base), dtype=np.float32)
+            else:
+                overrides[node_name] = (base + np.asarray(spec, dtype=np.float32)).astype(np.float32)
+        return overrides
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of the challenger's selection rule for one dispute round."""
+
+    selected_index: Optional[int]
+    reports: List[ExceedanceReport]
+    merkle_checks: int
+    flops: float
+    all_valid: bool
+
+
+class Challenger:
+    """Re-executes results and drives dispute localization."""
+
+    def __init__(self, name: str, device: DeviceProfile,
+                 threshold_table: ThresholdTable) -> None:
+        self.name = name
+        self.device = device
+        self.thresholds = threshold_table
+        self.interpreter = Interpreter(device)
+        self.stopwatch = Stopwatch()
+        self.dispute_flops = 0.0
+        self.merkle_checks = 0
+
+    def reset_accounting(self) -> None:
+        self.dispute_flops = 0.0
+        self.merkle_checks = 0
+        self.stopwatch = Stopwatch()
+
+    # -- Phase 1 verification --------------------------------------------
+
+    def verify_result(self, graph_module: GraphModule, result: ProposedResult,
+                      ) -> Tuple[bool, List[ExceedanceReport]]:
+        """Re-execute the request and check the final outputs against thresholds.
+
+        Returns ``(honest_looking, reports)`` where ``honest_looking`` is True
+        when no output operator exceeds its committed threshold.
+        """
+        trace = self.interpreter.run(graph_module, result.inputs, record=True,
+                                     count_flops=True)
+        self.dispute_flops += trace.flops.total
+        reports: List[ExceedanceReport] = []
+        for name, proposed in zip(result.output_names, result.outputs):
+            if not self.thresholds.has_operator(name):
+                continue
+            reports.append(self.thresholds.check(name, proposed, trace.values[name]))
+        return (not any(r.exceeded for r in reports)), reports
+
+    # -- Phase 2 selection rule --------------------------------------------
+
+    def select_offending(
+        self,
+        graph_module: GraphModule,
+        model_commitment: ModelCommitment,
+        records: Sequence[SubgraphRecord],
+    ) -> SelectionOutcome:
+        """Identify the first offending child (Eq. 15) in topological order.
+
+        For each child in order the challenger (1) verifies the Merkle record,
+        (2) re-executes the child subgraph from the proposer's claimed live-in
+        tensors on its own device, and (3) compares the proposer's claimed
+        live-out tensors against its own via the committed percentile
+        thresholds.  The first child with an exceedance is selected; earlier
+        children (and hence the selected child's inputs) are implicitly agreed.
+        """
+        reports: List[ExceedanceReport] = []
+        merkle_checks = 0
+        flops = 0.0
+        selected: Optional[int] = None
+        all_valid = True
+        with self.stopwatch.measure("challenger_selection"):
+            for index, record in enumerate(records):
+                valid, checks = verify_subgraph_record(record, model_commitment)
+                merkle_checks += checks
+                if not valid:
+                    # A malformed record is itself fraud: select it immediately.
+                    all_valid = False
+                    selected = index
+                    break
+                subgraph = extract_subgraph(graph_module, record.slice)
+                local = self.interpreter.run(
+                    subgraph, dict(record.live_in_values), record=True, count_flops=True
+                )
+                flops += local.flops.total
+                offending = False
+                for name in record.live_out_names:
+                    if not self.thresholds.has_operator(name):
+                        continue
+                    report = self.thresholds.check(
+                        name, record.live_out_values[name], local.values[name]
+                    )
+                    reports.append(report)
+                    if report.exceeded:
+                        offending = True
+                if offending and selected is None:
+                    selected = index
+                    break
+        self.dispute_flops += flops
+        self.merkle_checks += merkle_checks
+        return SelectionOutcome(
+            selected_index=selected,
+            reports=reports,
+            merkle_checks=merkle_checks,
+            flops=flops,
+            all_valid=all_valid,
+        )
+
+
+def record_inputs(record: SubgraphRecord) -> Dict[str, np.ndarray]:
+    """The challenger-side input dictionary for re-executing a child slice."""
+    return dict(record.live_in_values)
+
+
+@dataclass
+class CommitteeVoteRecord:
+    member: str
+    within_threshold: bool
+    report: Optional[ExceedanceReport]
+
+
+class CommitteeMember:
+    """A sampled adjudicator that re-executes one operator and votes."""
+
+    def __init__(self, name: str, device: DeviceProfile) -> None:
+        self.name = name
+        self.device = device
+        self.interpreter = Interpreter(device)
+
+    def vote(
+        self,
+        graph_module: GraphModule,
+        operator_name: str,
+        operand_values: Sequence[np.ndarray],
+        proposer_output: np.ndarray,
+        thresholds: ThresholdTable,
+    ) -> CommitteeVoteRecord:
+        reference = self.interpreter.run_single_operator(
+            graph_module, operator_name, operand_values
+        )
+        if not thresholds.has_operator(operator_name):
+            # Without calibrated thresholds the member abstains in favour of
+            # the proposer (cannot establish fraud).
+            return CommitteeVoteRecord(self.name, True, None)
+        report = thresholds.check(operator_name, proposer_output, reference)
+        return CommitteeVoteRecord(self.name, not report.exceeded, report)

@@ -1,0 +1,109 @@
+"""TracedRuntime: instrument once, execute anywhere.
+
+This is the user-facing convenience wrapper mirroring the paper's
+PyTorch-compatible runtime: it traces a model into an operator graph,
+executes it (optionally recording the full intermediate trace, per-operator
+FLOPs, or co-executed theoretical error bounds), extracts and re-executes
+verifiable subgraphs, and produces the Phase 0 model commitment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bounds.coexec import BoundedExecution, BoundInterpreter
+from repro.bounds.fp_model import BoundMode
+from repro.calibration.calibrator import CalibrationConfig, CalibrationResult, Calibrator
+from repro.calibration.thresholds import ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.interpreter import ExecutionTrace, Interpreter
+from repro.graph.module import Module
+from repro.graph.subgraph import SubgraphSlice, extract_subgraph
+from repro.graph.tracer import trace_module
+from repro.merkle.commitments import ModelCommitment, commit_model
+from repro.tensorlib.device import DeviceProfile, DEVICE_FLEET, REFERENCE_DEVICE
+
+
+class TracedRuntime:
+    """Instrumented model runtime.
+
+    Parameters
+    ----------
+    module:
+        The model to instrument.
+    example_inputs:
+        Concrete inputs used for tracing (the graph is specialized to their
+        shapes, as the paper's per-request tracing is).
+    name:
+        Name recorded in commitments; defaults to the module class name.
+    """
+
+    def __init__(self, module: Module, example_inputs: Mapping[str, np.ndarray],
+                 name: Optional[str] = None,
+                 trace_device: DeviceProfile = REFERENCE_DEVICE) -> None:
+        self.module = module
+        self.graph_module: GraphModule = trace_module(
+            module, dict(example_inputs), device=trace_device, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_operators(self) -> int:
+        return self.graph_module.num_operators
+
+    def describe(self) -> Dict[str, object]:
+        return self.graph_module.describe()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, inputs: Mapping[str, np.ndarray], device: DeviceProfile,
+                record: bool = False, count_flops: bool = False,
+                overrides: Optional[Dict[str, np.ndarray]] = None) -> ExecutionTrace:
+        """Run the full graph on ``device``."""
+        return Interpreter(device).run(self.graph_module, dict(inputs), record=record,
+                                       count_flops=count_flops, overrides=overrides)
+
+    def execute_with_bounds(self, inputs: Mapping[str, np.ndarray],
+                            device: DeviceProfile,
+                            mode: BoundMode = BoundMode.PROBABILISTIC) -> BoundedExecution:
+        """Run the graph while co-computing per-operator theoretical bounds."""
+        return BoundInterpreter(device=device, mode=mode).run(self.graph_module, dict(inputs))
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+
+    def extract(self, start: int, end: int) -> GraphModule:
+        """Materialize operators [start, end) as a standalone GraphModule."""
+        return extract_subgraph(self.graph_module, SubgraphSlice(start, end))
+
+    def execute_subgraph(self, start: int, end: int,
+                         boundary_inputs: Mapping[str, np.ndarray],
+                         device: DeviceProfile) -> ExecutionTrace:
+        """Re-execute a slice from its live-in tensors (the challenger's primitive)."""
+        subgraph = self.extract(start, end)
+        return Interpreter(device).run(subgraph, dict(boundary_inputs), record=True)
+
+    # ------------------------------------------------------------------
+    # Calibration and commitment
+    # ------------------------------------------------------------------
+
+    def calibrate(self, dataset: Iterable[Dict[str, np.ndarray]],
+                  devices: Sequence[DeviceProfile] = DEVICE_FLEET) -> CalibrationResult:
+        calibrator = Calibrator(CalibrationConfig(devices=tuple(devices)))
+        return calibrator.calibrate(self.graph_module, dataset)
+
+    def build_thresholds(self, calibration: CalibrationResult,
+                         alpha: float = 3.0) -> ThresholdTable:
+        return ThresholdTable.from_calibration(calibration, alpha=alpha)
+
+    def commit(self, thresholds: ThresholdTable,
+               metadata: Optional[Dict[str, object]] = None) -> ModelCommitment:
+        return commit_model(self.graph_module, thresholds, metadata=metadata)

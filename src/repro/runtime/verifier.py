@@ -1,0 +1,93 @@
+"""Standalone challenger-side verification helpers.
+
+These functions implement the verification primitives outside the full
+protocol stack, so an integrator (or a test) can check a single execution or
+a model commitment without instantiating a coordinator:
+
+* :func:`verify_execution` — re-execute a request locally and compare every
+  recorded operator output (or just the final outputs) against the committed
+  thresholds;
+* :func:`verify_model_commitment` — recompute the weight/graph/threshold
+  Merkle roots from local artifacts and compare them with a published
+  commitment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.graph.interpreter import Interpreter
+from repro.merkle.commitments import ModelCommitment, commit_graph, commit_thresholds, commit_weights
+from repro.tensorlib.device import DeviceProfile
+
+
+@dataclass
+class VerificationReport:
+    """Result of locally verifying one execution."""
+
+    device: str
+    checked_operators: int
+    exceedances: List[ExceedanceReport] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        return not self.exceedances
+
+    @property
+    def worst_ratio(self) -> float:
+        if not self.exceedances:
+            return 0.0
+        return max(report.max_ratio for report in self.exceedances)
+
+
+def verify_execution(
+    graph_module: GraphModule,
+    thresholds: ThresholdTable,
+    inputs: Mapping[str, np.ndarray],
+    claimed_values: Mapping[str, np.ndarray],
+    device: DeviceProfile,
+    operators: Optional[List[str]] = None,
+) -> VerificationReport:
+    """Re-execute locally and compare claimed operator outputs against thresholds.
+
+    ``claimed_values`` maps operator node names to the proposer's claimed
+    tensors; when ``operators`` is omitted, every claimed operator with a
+    calibrated threshold is checked.
+    """
+    trace = Interpreter(device).run(graph_module, dict(inputs), record=True)
+    to_check = operators if operators is not None else [
+        name for name in claimed_values if thresholds.has_operator(name)
+    ]
+    exceedances: List[ExceedanceReport] = []
+    checked = 0
+    for name in to_check:
+        if name not in claimed_values or not thresholds.has_operator(name):
+            continue
+        checked += 1
+        report = thresholds.check(name, claimed_values[name], trace.values[name])
+        if report.exceeded:
+            exceedances.append(report)
+    return VerificationReport(device=device.name, checked_operators=checked,
+                              exceedances=exceedances)
+
+
+def verify_model_commitment(
+    graph_module: GraphModule,
+    thresholds: ThresholdTable,
+    commitment: ModelCommitment,
+) -> Tuple[bool, Dict[str, bool]]:
+    """Recompute the three Merkle roots locally and compare with ``commitment``."""
+    weight_tree, _ = commit_weights(graph_module.parameters)
+    graph_tree, _ = commit_graph(graph_module)
+    threshold_tree, _ = commit_thresholds(thresholds)
+    checks = {
+        "weight_root": weight_tree.root == commitment.weight_root,
+        "graph_root": graph_tree.root == commitment.graph_root,
+        "threshold_root": threshold_tree.root == commitment.threshold_root,
+    }
+    return all(checks.values()), checks

@@ -1,0 +1,60 @@
+"""FP32 tensor substrate with simulated heterogeneous accelerators.
+
+The paper's entire premise is that IEEE-754 floating point is non-associative,
+so the *same* operator run on different GPUs (or twice on the same GPU)
+legitimately produces slightly different results because vendor kernels
+reorder reductions.  This subpackage reproduces that mechanism in software:
+
+* :mod:`repro.tensorlib.accumulate` implements several FP32 reduction
+  orderings (sequential, reversed, chunked, pairwise-tree, Kahan-compensated).
+* :mod:`repro.tensorlib.device` defines :class:`DeviceProfile`, a simulated
+  accelerator characterized by its reduction strategy and blocking factors,
+  plus a four-device fleet standing in for the paper's RTX 4090 / RTX 6000 /
+  A100 / H100 testbed.
+* :mod:`repro.tensorlib.kernels` provides matmul / bmm / conv2d / reduction
+  kernels whose accumulation order is governed by the device profile, so
+  cross-device output differences are genuine IEEE-754 rounding divergence —
+  the same physical effect the paper calibrates against.
+* :mod:`repro.tensorlib.flops` provides the FLOP accounting used by the
+  Table 3 cost experiments.
+"""
+
+from repro.tensorlib.accumulate import (
+    AccumulationStrategy,
+    accumulate_partials,
+    chunked_sum,
+)
+from repro.tensorlib.device import (
+    DeviceProfile,
+    DEVICE_FLEET,
+    REFERENCE_DEVICE,
+    get_device,
+    list_devices,
+)
+from repro.tensorlib.kernels import (
+    device_matmul,
+    device_bmm,
+    device_conv2d,
+    device_sum,
+    device_mean,
+    device_var,
+)
+from repro.tensorlib.flops import FlopCounter
+
+__all__ = [
+    "AccumulationStrategy",
+    "accumulate_partials",
+    "chunked_sum",
+    "DeviceProfile",
+    "DEVICE_FLEET",
+    "REFERENCE_DEVICE",
+    "get_device",
+    "list_devices",
+    "device_matmul",
+    "device_bmm",
+    "device_conv2d",
+    "device_sum",
+    "device_mean",
+    "device_var",
+    "FlopCounter",
+]

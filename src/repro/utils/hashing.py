@@ -1,0 +1,37 @@
+"""SHA-256 helpers used for Merkle trees and protocol commitments.
+
+The paper (Sec. 2.2, Sec. 5.2) uses SHA-256 for every commitment: weight
+leaves, graph-signature leaves, interface hashes and the top-level result
+commitment ``C0 = H(r_w || r_g || H(x) || H(y) || meta)``.  All hashing in
+this repository goes through the two functions below so the byte discipline
+is identical everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    """Return the raw 32-byte SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_concat(parts: Iterable[bytes]) -> bytes:
+    """Hash the concatenation of ``parts`` with length framing.
+
+    Each part is prefixed with its 8-byte big-endian length so that
+    ``hash_concat([a, b]) != hash_concat([a + b])`` — the framing prevents
+    ambiguity attacks on commitment preimages.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()

@@ -1,0 +1,94 @@
+"""Canonical byte serialization for tensors and metadata.
+
+The paper commits to tensors via ``canon(.)`` which "serializes raw tensor
+bytes, dtype, shape, and stride" (Sec. 5.2).  We reproduce that exactly:
+``canonical_bytes`` produces a deterministic byte string containing the
+dtype name, the shape, the C-order strides and the raw little-endian data
+buffer, so two numerically identical tensors always hash to the same leaf
+and any bit flip changes the hash.
+
+``canonical_json`` provides a deterministic JSON encoding (sorted keys, no
+whitespace) used for operator signatures and protocol metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to a canonical byte string.
+
+    Supports NumPy arrays, Python scalars, strings, bytes, ``None`` and
+    (nested) lists/tuples/dicts of those.  Arrays are converted to
+    C-contiguous little-endian buffers, prefixed with dtype/shape metadata.
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        # Normalize byte order so the commitment is platform independent.
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        header = json.dumps(
+            {
+                "kind": "ndarray",
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "strides": list(arr.strides),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return b"NDARRAY\x00" + len(header).to_bytes(8, "big") + header + arr.tobytes()
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return b"SCALAR\x00" + canonical_json(value).encode("utf-8")
+    if isinstance(value, bytes):
+        return b"BYTES\x00" + value
+    if isinstance(value, (list, tuple)):
+        parts = [canonical_bytes(v) for v in value]
+        out = b"SEQ\x00" + len(parts).to_bytes(8, "big")
+        for part in parts:
+            out += len(part).to_bytes(8, "big") + part
+        return out
+    if isinstance(value, dict):
+        out = b"MAP\x00" + len(value).to_bytes(8, "big")
+        for key in sorted(value):
+            key_b = str(key).encode("utf-8")
+            val_b = canonical_bytes(value[key])
+            out += len(key_b).to_bytes(8, "big") + key_b
+            out += len(val_b).to_bytes(8, "big") + val_b
+        return out
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return canonical_bytes(value.item())
+    raise TypeError(f"cannot canonically serialize value of type {type(value)!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert ``value`` into something ``json.dumps`` accepts deterministically."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": True,
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    return value

@@ -1,0 +1,56 @@
+"""Lightweight wall-clock timing used by the dispute-game microbenchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Used by the dispute game to record per-round substep latency (proposer
+    partition vs. challenger selection), mirroring the paper's Fig. 8
+    "per-round substep time" measurement.
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    def measure(self, label: str):
+        """Context manager recording the elapsed time under ``label``."""
+        return _Measurement(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        self.records.setdefault(label, []).append(float(seconds))
+
+    def total(self, label: str) -> float:
+        return float(sum(self.records.get(label, [])))
+
+    def count(self, label: str) -> int:
+        return len(self.records.get(label, []))
+
+    def mean(self, label: str) -> float:
+        values = self.records.get(label, [])
+        if not values:
+            return 0.0
+        return float(sum(values) / len(values))
+
+    def merge(self, other: "Stopwatch") -> None:
+        for label, values in other.records.items():
+            self.records.setdefault(label, []).extend(values)
+
+
+class _Measurement:
+    def __init__(self, stopwatch: Stopwatch, label: str) -> None:
+        self._stopwatch = stopwatch
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stopwatch.add(self._label, time.perf_counter() - self._start)

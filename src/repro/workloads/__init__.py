@@ -1,0 +1,21 @@
+"""Synthetic workloads standing in for the paper's datasets.
+
+The paper calibrates and attacks with ImageNet, DBpedia, C4 and WikiText-103
+inputs.  Calibration and attacks only need representative activations (not
+labelled accuracy), so deterministic synthetic datasets with controlled
+statistics exercise exactly the same code paths.
+"""
+
+from repro.workloads.datasets import (
+    SyntheticImageDataset,
+    SyntheticTokenDataset,
+    calibration_dataset,
+    serving_requests,
+)
+
+__all__ = [
+    "SyntheticImageDataset",
+    "SyntheticTokenDataset",
+    "calibration_dataset",
+    "serving_requests",
+]

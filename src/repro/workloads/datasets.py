@@ -1,0 +1,80 @@
+"""Deterministic synthetic datasets.
+
+Two dataset families cover the zoo: images (ResNet / diffusion latents) and
+token sequences (BERT / Qwen).  Both are fully determined by their seed, so
+every experiment in the repository is reproducible bit-for-bit; the only
+nondeterminism in the system remains the intentional floating-point
+divergence across simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.models.zoo import ModelSpec, get_model_spec
+from repro.graph.module import Module
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class SyntheticImageDataset:
+    """Gaussian-mixture images with per-class means (classification-like)."""
+
+    num_classes: int = 10
+    channels: int = 3
+    image_size: int = 32
+    seed: int = 0
+
+    def sample(self, batch_size: int, index: int = 0) -> Dict[str, np.ndarray]:
+        rng = seeded_rng(derive_seed(self.seed, "images", index))
+        labels = rng.integers(0, self.num_classes, size=batch_size)
+        means = np.linspace(-1.0, 1.0, self.num_classes)[labels]
+        images = rng.standard_normal(
+            (batch_size, self.channels, self.image_size, self.image_size)
+        ) * 0.5 + means[:, None, None, None]
+        return {"images": images.astype(np.float32)}
+
+    def batches(self, num_batches: int, batch_size: int) -> Iterator[Dict[str, np.ndarray]]:
+        for index in range(num_batches):
+            yield self.sample(batch_size, index)
+
+
+@dataclass
+class SyntheticTokenDataset:
+    """Zipf-distributed token sequences (language-model-like statistics)."""
+
+    vocab_size: int = 512
+    seq_len: int = 32
+    zipf_exponent: float = 1.5
+    seed: int = 0
+
+    def sample(self, batch_size: int, index: int = 0) -> Dict[str, np.ndarray]:
+        rng = seeded_rng(derive_seed(self.seed, "tokens", index))
+        # Zipf sampling truncated to the vocabulary.
+        raw = rng.zipf(self.zipf_exponent, size=(batch_size, self.seq_len))
+        tokens = np.clip(raw - 1, 0, self.vocab_size - 1).astype(np.int64)
+        return {"token_ids": tokens}
+
+    def batches(self, num_batches: int, batch_size: int) -> Iterator[Dict[str, np.ndarray]]:
+        for index in range(num_batches):
+            yield self.sample(batch_size, index)
+
+
+def calibration_dataset(model_name: str, module: Module, num_samples: int,
+                        seed: int = 0, batch_size: Optional[int] = None
+                        ) -> List[Dict[str, np.ndarray]]:
+    """Calibration inputs for a zoo model (the paper uses 50 per model)."""
+    spec = get_model_spec(model_name)
+    return spec.dataset(module, num_samples, seed=seed, batch_size=batch_size)
+
+
+def serving_requests(model_name: str, module: Module, num_requests: int,
+                     seed: int = 1000, batch_size: Optional[int] = None
+                     ) -> List[Dict[str, np.ndarray]]:
+    """Fresh request inputs disjoint from the calibration seed space."""
+    spec = get_model_spec(model_name)
+    return spec.dataset(module, num_requests, seed=derive_seed(seed, "serving"),
+                        batch_size=batch_size)

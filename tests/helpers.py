@@ -1,0 +1,63 @@
+"""Shared test helpers: finite-difference gradient checking for operator VJPs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+
+def finite_difference_vjp_check(
+    op_name: str,
+    tensors: Sequence[np.ndarray],
+    attrs: Optional[Dict] = None,
+    check_inputs: Optional[Sequence[int]] = None,
+    epsilon: float = 1e-4,
+    rtol: float = 5e-2,
+    atol: float = 5e-4,
+    seed: int = 0,
+) -> None:
+    """Compare an operator's VJP against central finite differences.
+
+    The check contracts the Jacobian with a random cotangent: for a random
+    ``g`` with the output's shape, ``<vjp_i, e>`` must match
+    ``d/d eps <g, f(..., x_i + eps*e, ...)>`` for a random direction ``e``.
+    All arithmetic is float64 to keep the finite differences meaningful.
+    """
+    attrs = attrs or {}
+    spec = get_op(op_name)
+    assert spec.vjp is not None, f"{op_name} has no registered VJP"
+    rng = np.random.default_rng(seed)
+
+    tensors64 = [np.asarray(t, dtype=np.float64) if np.asarray(t).dtype.kind == "f"
+                 else np.asarray(t) for t in tensors]
+    out = spec.forward(REFERENCE_DEVICE, *tensors64, **attrs)
+    cotangent = rng.standard_normal(np.shape(out))
+
+    grads = spec.vjp(REFERENCE_DEVICE, cotangent, out, *tensors64, **attrs)
+    indices = check_inputs if check_inputs is not None else range(len(tensors64))
+
+    for index in indices:
+        tensor = tensors64[index]
+        if np.asarray(tensor).dtype.kind != "f":
+            continue
+        grad = grads[index]
+        assert grad is not None, f"{op_name}: missing gradient for input {index}"
+        direction = rng.standard_normal(np.shape(tensor))
+        analytic = float(np.sum(np.asarray(grad, dtype=np.float64) * direction))
+
+        def perturbed(scale: float) -> float:
+            shifted = list(tensors64)
+            shifted[index] = tensor + scale * direction
+            result = spec.forward(REFERENCE_DEVICE, *shifted, **attrs)
+            return float(np.sum(np.asarray(result, dtype=np.float64) * cotangent))
+
+        numeric = (perturbed(epsilon) - perturbed(-epsilon)) / (2.0 * epsilon)
+        scale = max(abs(analytic), abs(numeric), 1.0)
+        assert abs(analytic - numeric) <= rtol * scale + atol, (
+            f"{op_name}: VJP mismatch on input {index}: "
+            f"analytic={analytic:.6g}, numeric={numeric:.6g}"
+        )

@@ -1,0 +1,101 @@
+"""Unit and property tests for feasible-set projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.projections import (
+    empirical_quantile_violation,
+    project_empirical,
+    project_theoretical,
+)
+from repro.calibration.profiles import PERCENTILE_GRID
+
+
+def test_theoretical_projection_clips_elementwise(rng):
+    delta = rng.standard_normal((4, 4)) * 10
+    tau = np.abs(rng.standard_normal((4, 4)))
+    projected = project_theoretical(delta, tau)
+    assert (np.abs(projected) <= tau + 1e-15).all()
+    # Values already inside the box are untouched.
+    small = 0.5 * tau
+    assert np.allclose(project_theoretical(small, tau), small)
+
+
+def test_theoretical_projection_preserves_sign(rng):
+    delta = rng.standard_normal(100) * 5
+    tau = np.full(100, 0.1)
+    projected = project_theoretical(delta, tau)
+    assert (np.sign(projected)[np.abs(delta) > 0.1] == np.sign(delta)[np.abs(delta) > 0.1]).all()
+
+
+def _cap_curve(scale=1.0):
+    ranks = np.asarray(PERCENTILE_GRID) / 100.0
+    caps = scale * np.linspace(1e-6, 1e-4, len(ranks))
+    return ranks, caps
+
+
+def test_empirical_projection_lands_inside_feasible_set(rng):
+    ranks, caps = _cap_curve()
+    delta = rng.standard_normal(500) * 1e-3
+    projected = project_empirical(delta, ranks, caps)
+    assert empirical_quantile_violation(projected, ranks, caps) <= 1.0 + 1e-9
+
+
+def test_empirical_projection_is_idempotent(rng):
+    ranks, caps = _cap_curve()
+    delta = rng.standard_normal(300) * 1e-3
+    once = project_empirical(delta, ranks, caps)
+    twice = project_empirical(once, ranks, caps)
+    assert np.allclose(once, twice, atol=1e-18)
+
+
+def test_empirical_projection_no_op_for_feasible_delta(rng):
+    ranks, caps = _cap_curve()
+    delta = rng.standard_normal(200) * 1e-8   # far below every cap
+    projected = project_empirical(delta, ranks, caps)
+    assert np.allclose(projected, delta)
+
+
+def test_empirical_projection_preserves_signs_and_shape(rng):
+    ranks, caps = _cap_curve()
+    delta = rng.standard_normal((8, 16)) * 1e-3
+    projected = project_empirical(delta, ranks, caps)
+    assert projected.shape == delta.shape
+    nonzero = np.abs(projected) > 0
+    assert (np.sign(projected[nonzero]) == np.sign(delta[nonzero])).all()
+
+
+def test_empirical_projection_only_shrinks_magnitudes(rng):
+    ranks, caps = _cap_curve()
+    delta = rng.standard_normal(256) * 1e-3
+    projected = project_empirical(delta, ranks, caps)
+    assert (np.abs(projected) <= np.abs(delta) + 1e-18).all()
+
+
+def test_empirical_violation_detects_infeasible_delta():
+    ranks, caps = _cap_curve()
+    delta = np.full(100, 1.0)  # grossly larger than every cap
+    assert empirical_quantile_violation(delta, ranks, caps) > 1e3
+
+
+def test_empirical_violation_zero_for_zero_delta():
+    ranks, caps = _cap_curve()
+    assert empirical_quantile_violation(np.zeros(50), ranks, caps) == 0.0
+    assert empirical_quantile_violation(np.zeros(0), ranks, caps) == 0.0
+
+
+def test_empty_delta_passthrough():
+    ranks, caps = _cap_curve()
+    out = project_empirical(np.zeros((0,)), ranks, caps)
+    assert out.shape == (0,)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(1, 400), st.floats(1e-7, 1e-2), st.integers(0, 10_000))
+def test_projection_always_feasible_property(n, scale, seed):
+    ranks, caps = _cap_curve()
+    delta = np.random.default_rng(seed).standard_normal(n) * scale
+    projected = project_empirical(delta, ranks, caps)
+    assert empirical_quantile_violation(projected, ranks, caps) <= 1.0 + 1e-9
+    assert (np.abs(projected) <= np.abs(delta) + 1e-18).all()

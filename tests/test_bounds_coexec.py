@@ -1,0 +1,92 @@
+"""Unit tests for the bound co-execution interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.coexec import BoundInterpreter
+from repro.bounds.fp_model import BoundMode
+from repro.graph.interpreter import Interpreter
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+def test_bounds_computed_for_every_operator(mlp_graph, mlp_inputs):
+    execution = BoundInterpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs)
+    operator_names = {n.name for n in mlp_graph.graph.operators}
+    assert set(execution.bounds) == operator_names
+    for name, tau in execution.bounds.items():
+        node = mlp_graph.graph.node(name)
+        assert tau.shape == node.shape
+        assert np.isfinite(tau).all()
+        assert (tau >= 0).all()
+
+
+def test_values_match_plain_interpreter(mlp_graph, mlp_inputs):
+    device = DEVICE_FLEET[1]
+    plain = Interpreter(device).run(mlp_graph, mlp_inputs, record=True)
+    bounded = BoundInterpreter(device).run(mlp_graph, mlp_inputs)
+    for node in mlp_graph.graph.operators:
+        assert np.array_equal(plain.values[node.name], bounded.values[node.name])
+
+
+def test_only_operators_restriction(mlp_graph, mlp_inputs):
+    target = mlp_graph.graph.operators[2].name
+    execution = BoundInterpreter(DEVICE_FLEET[0]).run(
+        mlp_graph, mlp_inputs, only_operators={target}
+    )
+    assert set(execution.bounds) == {target}
+
+
+def test_missing_input_raises(mlp_graph):
+    with pytest.raises(ValueError):
+        BoundInterpreter(DEVICE_FLEET[0]).run(mlp_graph, {})
+
+
+def test_deterministic_mode_bounds_looser(mlp_graph, mlp_inputs):
+    det = BoundInterpreter(DEVICE_FLEET[0], mode=BoundMode.DETERMINISTIC).run(
+        mlp_graph, mlp_inputs)
+    prob = BoundInterpreter(DEVICE_FLEET[0], mode=BoundMode.PROBABILISTIC).run(
+        mlp_graph, mlp_inputs)
+    det_total = sum(float(np.mean(t)) for t in det.bounds.values())
+    prob_total = sum(float(np.mean(t)) for t in prob.bounds.values())
+    assert det_total > prob_total
+    assert det.mode is BoundMode.DETERMINISTIC
+
+
+def test_mean_bound_by_operator_type(mlp_graph, mlp_inputs):
+    execution = BoundInterpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs)
+    by_type = execution.mean_bound_by_operator_type(mlp_graph)
+    assert "linear" in by_type and "softmax" in by_type
+    assert all(value >= 0 for value in by_type.values())
+
+
+def test_bound_single_operator_is_leaf_check_primitive(mlp_graph, mlp_inputs):
+    device_a, device_b = DEVICE_FLEET[0], DEVICE_FLEET[3]
+    trace = Interpreter(device_a).run(mlp_graph, mlp_inputs, record=True)
+    node = next(n for n in mlp_graph.graph.operators if n.target == "linear")
+    operands = [trace.values[arg.name] if hasattr(arg, "name") else arg for arg in node.args]
+    # Resolve parameter operands.
+    resolved = []
+    for arg, value in zip(node.args, operands):
+        if hasattr(arg, "op") and arg.op == "get_param":
+            resolved.append(mlp_graph.parameters[arg.target])
+        else:
+            resolved.append(value)
+    bound_interp = BoundInterpreter(device_b)
+    reference, tau = bound_interp.bound_single_operator(mlp_graph, node.name, resolved)
+    proposer_output = trace.values[node.name]
+    diff = np.abs(proposer_output.astype(np.float64) - reference.astype(np.float64))
+    assert (diff <= tau + 1e-12).all()
+
+
+def test_bound_single_operator_rejects_non_operator(mlp_graph):
+    with pytest.raises(ValueError):
+        BoundInterpreter(DEVICE_FLEET[0]).bound_single_operator(
+            mlp_graph, mlp_graph.graph.placeholders[0].name, []
+        )
+
+
+def test_output_accessor(mlp_graph, mlp_inputs):
+    execution = BoundInterpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs)
+    assert execution.output.shape == (4, 6)
+    with pytest.raises(KeyError):
+        execution.bound("nonexistent")

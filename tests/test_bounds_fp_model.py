@@ -1,0 +1,84 @@
+"""Unit and property tests for the IEEE-754 rounding model factors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bounds.fp_model import (
+    BoundMode,
+    FP32_MODEL,
+    FP64_MODEL,
+    INTRINSIC_ULP,
+    gamma,
+    gamma_tilde,
+    probabilistic_confidence,
+)
+
+
+def test_unit_roundoffs():
+    assert FP32_MODEL.u == 2.0 ** -24
+    assert FP64_MODEL.u == 2.0 ** -53
+
+
+def test_gamma_basic_values():
+    u = FP32_MODEL.u
+    assert gamma(0, u) == 0.0
+    assert gamma(1, u) == pytest.approx(u, rel=1e-6)
+    assert gamma(100, u) == pytest.approx(100 * u, rel=1e-4)
+
+
+def test_gamma_monotone_in_k():
+    u = FP32_MODEL.u
+    previous = 0.0
+    for k in (1, 2, 5, 10, 100, 1000, 10_000):
+        value = gamma(k, u)
+        assert value > previous
+        previous = value
+
+
+def test_gamma_saturates_instead_of_blowing_up():
+    assert math.isfinite(gamma(2 ** 30, 2.0 ** -24))
+
+
+def test_gamma_tilde_scales_like_sqrt_k():
+    u = FP32_MODEL.u
+    small = gamma_tilde(100, u, 4.0)
+    large = gamma_tilde(10_000, u, 4.0)
+    # sqrt scaling: 100x more terms -> ~10x larger bound (first order).
+    assert large / small == pytest.approx(10.0, rel=0.05)
+
+
+def test_probabilistic_tighter_than_deterministic_for_large_k():
+    u = FP32_MODEL.u
+    for k in (64, 256, 1024, 4096):
+        assert gamma_tilde(k, u, 4.0) < gamma(k, u)
+
+
+def test_probabilistic_confidence_matches_paper_lambda4():
+    # lambda = 4 gives >= 99.93% confidence (paper Sec. 3.1).
+    assert probabilistic_confidence(4.0, FP32_MODEL.u) >= 0.9993
+    assert FP32_MODEL.confidence() >= 0.9993
+
+
+def test_reduction_factor_dispatch():
+    assert FP32_MODEL.reduction_factor(128, BoundMode.DETERMINISTIC) == FP32_MODEL.gamma(128)
+    assert FP32_MODEL.reduction_factor(128, BoundMode.PROBABILISTIC) == FP32_MODEL.gamma_tilde(128)
+
+
+def test_intrinsic_ulp_table_covers_transcendentals():
+    for name in ("exp", "log", "tanh", "erf", "sqrt", "rsqrt"):
+        assert INTRINSIC_ULP[name] > 0
+
+
+@given(st.integers(0, 100_000))
+def test_gamma_nonnegative_and_zero_only_at_zero(k):
+    value = gamma(k, FP32_MODEL.u)
+    assert value >= 0.0
+    assert (value == 0.0) == (k == 0)
+
+
+@given(st.integers(1, 100_000), st.floats(0.5, 8.0))
+def test_gamma_tilde_increases_with_lambda(k, lambda_):
+    u = FP32_MODEL.u
+    assert gamma_tilde(k, u, lambda_ + 0.5) > gamma_tilde(k, u, lambda_)

@@ -1,0 +1,155 @@
+"""Soundness tests for per-operator theoretical bound templates.
+
+The core property: for every operator, re-executing the *same operator on the
+same inputs* on two different simulated devices must land within the
+operator-local envelope tau_theo (this is exactly the leaf-check setting the
+paper uses the bounds for).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.fp_model import BoundMode
+from repro.bounds.templates import (
+    BoundContext,
+    bound_for_operator,
+    has_bound_template,
+    list_bound_templates,
+)
+from repro.ops.registry import get_op, list_ops
+from repro.tensorlib.device import DEVICE_FLEET, REFERENCE_DEVICE
+
+_RNG = np.random.default_rng(2024)
+
+
+def _case(name):
+    """Random but well-conditioned inputs + attrs for each bounded operator."""
+    r = _RNG
+    if name in ("add", "sub", "mul", "div", "maximum", "minimum"):
+        a = r.standard_normal((16, 16)).astype(np.float32)
+        b = (r.standard_normal((16, 16)) + 3.0).astype(np.float32)
+        return [a, b], {}
+    if name in ("exp", "tanh", "sigmoid", "erf", "sin", "cos", "neg", "abs",
+                "relu", "leaky_relu", "gelu", "silu"):
+        return [r.standard_normal((16, 16)).astype(np.float32)], {}
+    if name in ("sqrt", "rsqrt", "log"):
+        return [(np.abs(r.standard_normal((16, 16))) + 0.5).astype(np.float32)], {}
+    if name == "pow":
+        return [(np.abs(r.standard_normal((8, 8))) + 0.5).astype(np.float32)], {"exponent": 2.0}
+    if name == "clip":
+        return [r.standard_normal((8, 8)).astype(np.float32)], {"minimum": -0.5, "maximum": 0.5}
+    if name == "where":
+        cond = r.standard_normal((8, 8)) > 0
+        return [cond, r.standard_normal((8, 8)).astype(np.float32),
+                r.standard_normal((8, 8)).astype(np.float32)], {}
+    if name in ("sum", "mean", "var", "amax", "amin"):
+        return [r.standard_normal((8, 256)).astype(np.float32)], {"axis": -1}
+    if name in ("matmul", "bmm"):
+        shape_a = (2, 24, 96) if name == "bmm" else (24, 96)
+        shape_b = (2, 96, 16) if name == "bmm" else (96, 16)
+        return [r.standard_normal(shape_a).astype(np.float32),
+                r.standard_normal(shape_b).astype(np.float32)], {}
+    if name == "linear":
+        return [r.standard_normal((8, 96)).astype(np.float32),
+                r.standard_normal((32, 96)).astype(np.float32),
+                r.standard_normal(32).astype(np.float32)], {}
+    if name == "conv2d":
+        return [r.standard_normal((1, 8, 10, 10)).astype(np.float32),
+                r.standard_normal((4, 8, 3, 3)).astype(np.float32),
+                r.standard_normal(4).astype(np.float32)], {"stride": (1, 1), "padding": (1, 1)}
+    if name in ("max_pool2d", "avg_pool2d"):
+        return [r.standard_normal((1, 4, 8, 8)).astype(np.float32)], \
+            {"kernel_size": (2, 2), "stride": (2, 2)}
+    if name == "adaptive_avg_pool2d":
+        return [r.standard_normal((2, 4, 8, 8)).astype(np.float32)], {"output_size": (1, 1)}
+    if name == "upsample_nearest":
+        return [r.standard_normal((1, 2, 4, 4)).astype(np.float32)], {"scale_factor": 2}
+    if name == "softmax":
+        return [r.standard_normal((4, 128)).astype(np.float32) * 3.0], {"axis": -1}
+    if name == "layer_norm":
+        d = 128
+        return [r.standard_normal((4, d)).astype(np.float32),
+                np.abs(r.standard_normal(d)).astype(np.float32) + 0.5,
+                r.standard_normal(d).astype(np.float32)], {"eps": 1e-5}
+    if name == "rms_norm":
+        d = 128
+        return [r.standard_normal((4, d)).astype(np.float32),
+                np.abs(r.standard_normal(d)).astype(np.float32) + 0.5], {"eps": 1e-6}
+    if name == "batch_norm":
+        c = 8
+        return [r.standard_normal((2, c, 6, 6)).astype(np.float32),
+                np.abs(r.standard_normal(c)).astype(np.float32) + 0.5,
+                r.standard_normal(c).astype(np.float32),
+                r.standard_normal(c).astype(np.float32) * 0.1,
+                np.abs(r.standard_normal(c)).astype(np.float32) + 0.5], {"eps": 1e-5}
+    if name == "group_norm":
+        c = 8
+        return [r.standard_normal((2, c, 6, 6)).astype(np.float32),
+                np.abs(r.standard_normal(c)).astype(np.float32) + 0.5,
+                r.standard_normal(c).astype(np.float32)], {"num_groups": 4, "eps": 1e-5}
+    return None
+
+
+ARITHMETIC_OPS = [name for name in list_ops() if _case(name) is not None
+                  and get_op(name).introduces_rounding]
+
+
+def test_every_registered_operator_has_a_bound_or_is_structural():
+    for name in list_ops():
+        spec = get_op(name)
+        if spec.introduces_rounding and name not in ("argmax",):
+            assert has_bound_template(name) or name in ARITHMETIC_OPS, (
+                f"operator {name} has no bound template"
+            )
+
+
+def test_template_listing_covers_the_paper_operator_families():
+    templates = list_bound_templates()
+    for name in ("softmax", "layer_norm", "matmul", "conv2d", "gelu", "mean", "batch_norm"):
+        assert name in templates
+
+
+@pytest.mark.parametrize("name", ARITHMETIC_OPS)
+@pytest.mark.parametrize("mode", [BoundMode.DETERMINISTIC, BoundMode.PROBABILISTIC])
+def test_cross_device_single_operator_divergence_within_bound(name, mode):
+    tensors, attrs = _case(name)
+    ctx = BoundContext(mode=mode)
+    spec = get_op(name)
+    outputs = [spec.forward(device, *tensors, **attrs) for device in DEVICE_FLEET]
+    reference = spec.forward(REFERENCE_DEVICE, *tensors, **attrs)
+    tau = bound_for_operator(ctx, name, reference, tensors, attrs)
+    assert tau.shape == np.shape(reference)
+    assert (tau >= 0).all()
+    for out in outputs:
+        diff = np.abs(np.asarray(out, dtype=np.float64) - np.asarray(reference, dtype=np.float64))
+        assert (diff <= tau + 1e-12).all(), (
+            f"{name} ({mode.value}): observed cross-device error exceeds tau_theo "
+            f"(max diff {diff.max():.3e}, max tau {tau.max():.3e})"
+        )
+
+
+@pytest.mark.parametrize("name", ["matmul", "linear", "sum", "mean", "softmax", "layer_norm"])
+def test_deterministic_bound_looser_than_probabilistic_for_reductions(name):
+    tensors, attrs = _case(name)
+    spec = get_op(name)
+    out = spec.forward(REFERENCE_DEVICE, *tensors, **attrs)
+    det = bound_for_operator(BoundContext(mode=BoundMode.DETERMINISTIC), name, out, tensors, attrs)
+    prob = bound_for_operator(BoundContext(mode=BoundMode.PROBABILISTIC), name, out, tensors, attrs)
+    assert det.mean() > prob.mean()
+
+
+def test_structural_operators_have_zero_bound():
+    ctx = BoundContext()
+    x = np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32)
+    for name in ("reshape", "embedding", "dropout", "concat", "identity"):
+        out = x.copy()
+        tau = bound_for_operator(ctx, name, out, [x], {})
+        assert (tau == 0).all()
+
+
+def test_unknown_operator_falls_back_to_single_rounding():
+    ctx = BoundContext()
+    out = np.ones((2, 2), dtype=np.float32) * 8.0
+    tau = bound_for_operator(ctx, "maximum", out, [out, out], {})
+    # maximum has an explicit zero template; "amax" falls back structurally.
+    assert tau.shape == (2, 2)

@@ -1,0 +1,77 @@
+"""Unit tests for the cross-device calibration pass."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.calibrator import CalibrationConfig, Calibrator
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+def test_config_requires_two_devices():
+    with pytest.raises(ValueError):
+        CalibrationConfig(devices=(DEVICE_FLEET[0],))
+
+
+def test_calibration_covers_float_operators(mlp_graph, mlp_calibration):
+    float_ops = [n.name for n in mlp_graph.graph.operators]
+    assert set(mlp_calibration.operators) == set(float_ops)
+    assert mlp_calibration.num_samples == 6
+
+
+def test_calibration_records_expected_pair_and_sample_counts(mlp_calibration):
+    n_devices = len(DEVICE_FLEET)
+    expected_pairs = n_devices * (n_devices - 1) // 2
+    for calib in mlp_calibration.operators.values():
+        assert calib.num_pairs == expected_pairs
+        assert calib.num_samples == 6
+        assert len(calib.per_sample_profiles) == 6
+
+
+def test_cross_device_errors_are_nonzero_but_tiny(mlp_calibration):
+    errors = [c.mean_abs_error for c in mlp_calibration.operators.values()]
+    assert max(errors) > 0.0, "simulated devices must actually diverge"
+    assert max(errors) < 1e-3, "cross-device FP noise should be tiny"
+
+
+def test_envelope_dominates_every_sample_profile(mlp_calibration):
+    for calib in mlp_calibration.operators.values():
+        for profile in calib.per_sample_profiles:
+            assert (calib.envelope.abs_values >= profile.abs_values - 1e-18).all()
+            assert (calib.envelope.rel_values >= profile.rel_values - 1e-18).all()
+
+
+def test_envelope_max_is_at_least_mean(mlp_calibration):
+    for calib in mlp_calibration.operators.values():
+        assert calib.max_abs_error + 1e-18 >= calib.mean_abs_error
+
+
+def test_mean_error_by_position_series(mlp_graph, mlp_calibration):
+    positions, errors = mlp_calibration.mean_error_by_position()
+    assert len(positions) == mlp_graph.num_operators
+    assert positions[0] == 0.0 and positions[-1] == 1.0
+    assert (np.diff(positions) > 0).all()
+    assert (errors >= 0).all()
+
+
+def test_mean_error_by_operator_type(mlp_calibration):
+    by_type = mlp_calibration.mean_error_by_operator_type()
+    assert "linear" in by_type
+    assert all(v >= 0 for v in by_type.values())
+    rel = mlp_calibration.mean_error_by_operator_type(kind="rel")
+    assert set(rel) == set(by_type)
+
+
+def test_error_magnitude_histogram_sums_to_one(mlp_calibration):
+    bins = [10.0 ** (-k) for k in range(1, 9)]
+    histogram = mlp_calibration.error_magnitude_histogram(bins)
+    assert pytest.approx(sum(histogram.values()), abs=1e-9) == 1.0
+    assert all(0.0 <= v <= 1.0 for v in histogram.values())
+
+
+def test_calibration_is_reproducible(mlp_graph, mlp_input_factory):
+    dataset = [mlp_input_factory(5000 + i) for i in range(3)]
+    first = Calibrator().calibrate(mlp_graph, dataset)
+    second = Calibrator().calibrate(mlp_graph, dataset)
+    for name in first.operators:
+        assert np.array_equal(first.operators[name].envelope.abs_values,
+                              second.operators[name].envelope.abs_values)

@@ -1,0 +1,122 @@
+"""Unit and property tests for percentile profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.profiles import (
+    PERCENTILE_GRID,
+    OperatorCalibration,
+    PercentileProfile,
+    elementwise_errors,
+    percentile_profile,
+)
+
+
+def test_percentile_grid_matches_paper():
+    assert PERCENTILE_GRID[0] == 0.0
+    assert PERCENTILE_GRID[1] == 1.0
+    assert PERCENTILE_GRID[-1] == 100.0
+    assert 99.0 in PERCENTILE_GRID
+    assert 50.0 in PERCENTILE_GRID
+    assert list(PERCENTILE_GRID) == sorted(PERCENTILE_GRID)
+
+
+def test_percentile_profile_is_monotone(rng):
+    errors = np.abs(rng.standard_normal(1000))
+    profile = percentile_profile(errors)
+    assert (np.diff(profile) >= -1e-15).all()
+    assert profile[0] == pytest.approx(errors.min())
+    assert profile[-1] == pytest.approx(errors.max())
+
+
+def test_percentile_profile_empty_input():
+    assert (percentile_profile(np.array([])) == 0).all()
+
+
+def test_elementwise_errors(rng):
+    a = rng.standard_normal((4, 4))
+    b = a + 1e-3
+    abs_err, rel_err = elementwise_errors(a, b)
+    assert np.allclose(abs_err, 1e-3, atol=1e-9)
+    assert (rel_err >= 0).all()
+    # Relative error uses |a| in the denominator (Eq. 2).
+    assert np.allclose(rel_err, abs_err / (np.abs(a) + 1e-12))
+
+
+def test_profile_from_errors_and_value_at(rng):
+    abs_err = np.abs(rng.standard_normal(512))
+    rel_err = np.abs(rng.standard_normal(512)) * 0.1
+    profile = PercentileProfile.from_errors(abs_err, rel_err)
+    assert profile.value_at(100.0, "abs") == pytest.approx(abs_err.max())
+    assert profile.value_at(0.0, "rel") == pytest.approx(rel_err.min())
+    with pytest.raises(KeyError):
+        profile.value_at(37.0)
+
+
+def test_profile_shape_validation():
+    with pytest.raises(ValueError):
+        PercentileProfile(PERCENTILE_GRID, np.zeros(3), np.zeros(len(PERCENTILE_GRID)))
+
+
+def test_max_envelope_is_pointwise_max(rng):
+    a = PercentileProfile.from_errors(np.abs(rng.standard_normal(256)),
+                                      np.abs(rng.standard_normal(256)))
+    b = PercentileProfile.from_errors(np.abs(rng.standard_normal(256)),
+                                      np.abs(rng.standard_normal(256)))
+    envelope = a.max_with(b)
+    assert (envelope.abs_values >= a.abs_values).all()
+    assert (envelope.abs_values >= b.abs_values).all()
+    assert (envelope.abs_values == np.maximum(a.abs_values, b.abs_values)).all()
+
+
+def test_max_envelope_rejects_mismatched_grids(rng):
+    a = PercentileProfile.from_errors(np.abs(rng.standard_normal(16)),
+                                      np.abs(rng.standard_normal(16)))
+    b = PercentileProfile(grid=(0.0, 50.0, 100.0), abs_values=np.zeros(3), rel_values=np.zeros(3))
+    with pytest.raises(ValueError):
+        a.max_with(b)
+
+
+def test_scaled_profile(rng):
+    profile = PercentileProfile.from_errors(np.abs(rng.standard_normal(64)),
+                                            np.abs(rng.standard_normal(64)))
+    tripled = profile.scaled(3.0)
+    assert np.allclose(tripled.abs_values, 3.0 * profile.abs_values)
+    assert np.allclose(tripled.rel_values, 3.0 * profile.rel_values)
+
+
+def test_profile_dict_roundtrip(rng):
+    profile = PercentileProfile.from_errors(np.abs(rng.standard_normal(64)),
+                                            np.abs(rng.standard_normal(64)))
+    restored = PercentileProfile.from_dict(profile.to_dict())
+    assert np.allclose(restored.abs_values, profile.abs_values)
+    assert restored.grid == profile.grid
+
+
+def test_operator_calibration_sample_series(rng):
+    profiles = [
+        PercentileProfile.from_errors(np.abs(rng.standard_normal(64)) * (i + 1),
+                                      np.abs(rng.standard_normal(64)))
+        for i in range(5)
+    ]
+    envelope = profiles[0]
+    for p in profiles[1:]:
+        envelope = envelope.max_with(p)
+    calib = OperatorCalibration(
+        node_name="linear", op_type="linear", position=3, envelope=envelope,
+        per_sample_profiles=profiles, mean_abs_error=0.1, num_pairs=6, num_samples=5,
+    )
+    series = calib.sample_series(50.0, "abs")
+    assert series.shape == (5,)
+    assert calib.to_dict()["position"] == 3
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.floats(0, 1e3), min_size=1, max_size=400))
+def test_percentile_profile_bounds_contain_all_grid_values(values):
+    errors = np.asarray(values, dtype=np.float64)
+    profile = percentile_profile(errors)
+    assert profile[0] <= profile[-1] + 1e-12
+    assert profile[-1] == pytest.approx(errors.max())
+    assert (profile >= 0).all()

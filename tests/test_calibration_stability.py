@@ -1,0 +1,112 @@
+"""Unit and property tests for the Appendix-B stability diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.stability import (
+    global_drift,
+    jackknife_influence,
+    rolling_sd,
+    running_median,
+    stability_summary,
+    sup_norm_drift,
+    symmetric_relative_change,
+    tail_adjustment,
+)
+
+
+def test_symmetric_relative_change_properties():
+    assert symmetric_relative_change(1.0, 1.0) == 0.0
+    assert symmetric_relative_change(1.0, 3.0) == symmetric_relative_change(3.0, 1.0)
+    assert symmetric_relative_change(0.0, 0.0) == 0.0
+    assert 0.0 <= symmetric_relative_change(1e-6, 2e-6) <= 2.0
+
+
+def test_running_median_basic():
+    values = [3.0, 1.0, 2.0, 10.0]
+    medians = running_median(values)
+    assert medians[0] == 3.0
+    assert medians[1] == 2.0
+    assert medians[2] == 2.0
+    assert medians[3] == 2.5
+
+
+def test_constant_series_is_perfectly_stable():
+    series = np.full(50, 1e-6)
+    assert sup_norm_drift(series) == 0.0
+    assert jackknife_influence(series) == 0.0
+    assert tail_adjustment(series) == 0.0
+    assert rolling_sd(series) < 1e-12  # only floating-point dust remains
+
+
+def test_short_series_return_zero():
+    assert sup_norm_drift([1.0]) == 0.0
+    assert jackknife_influence([1.0]) == 0.0
+    assert tail_adjustment([1.0]) == 0.0
+    assert rolling_sd([1.0, 2.0], window=10) == 0.0
+
+
+def test_drifting_series_is_detected():
+    # A steadily drifting estimate moves its running median, which every
+    # diagnostic except the (robust) jackknife should pick up.
+    stable = np.full(50, 1.0)
+    drifting = np.linspace(1.0, 3.0, 50)
+    assert sup_norm_drift(drifting) > sup_norm_drift(stable)
+    assert tail_adjustment(drifting) > tail_adjustment(stable)
+    assert rolling_sd(drifting) > rolling_sd(stable)
+
+
+def test_single_outlier_has_bounded_jackknife_influence():
+    values = np.full(49, 1.0).tolist() + [100.0]
+    # The median is robust: removing any single point moves it only slightly.
+    assert jackknife_influence(values) < 0.1
+
+
+def test_global_drift_is_max_over_percentiles(rng):
+    series = {
+        10.0: np.full(30, 1.0),
+        50.0: np.concatenate([np.full(25, 1.0), np.full(5, 2.0)]),
+    }
+    drift = global_drift(series)
+    assert drift == pytest.approx(max(sup_norm_drift(series[10.0]), sup_norm_drift(series[50.0])))
+
+
+def test_stability_summary_stable_fleet(rng):
+    series = {f"op{i}": np.full(50, 1e-6) + 1e-9 * rng.standard_normal(50) for i in range(10)}
+    summary = stability_summary(series, percentile=50.0)
+    row = summary.as_row()
+    assert row["percentile"] == 50.0
+    assert row["SupNorm@50"] < 0.05
+    assert row["Jackknife@50"] < 0.05
+    assert row["TailAdj@50"] < 0.05
+    assert row["SupNorm@90"] < 0.2
+
+
+def test_stability_summary_ignores_nonfinite_and_short_series():
+    series = {"bad": np.array([np.nan, np.inf]), "short": np.array([1.0]),
+              "good": np.full(30, 2.0)}
+    summary = stability_summary(series, percentile=30.0)
+    assert summary.sup_norm_at50 == 0.0
+
+
+def test_real_calibration_series_are_stable(mlp_calibration):
+    for percentile in (30.0, 50.0, 70.0):
+        series = {
+            name: calib.sample_series(percentile)
+            for name, calib in mlp_calibration.operators.items()
+        }
+        summary = stability_summary(series, percentile)
+        # With only 6 samples the diagnostics are noisier than the paper's 50,
+        # but the medians across operators should still be small.
+        assert summary.sup_norm_at50 <= 1.0
+        assert summary.jackknife_at50 <= 1.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.floats(1e-9, 1e-3), min_size=2, max_size=60))
+def test_diagnostics_are_nonnegative_and_finite(values):
+    for fn in (sup_norm_drift, jackknife_influence, tail_adjustment, rolling_sd):
+        result = fn(values)
+        assert np.isfinite(result)
+        assert result >= 0.0

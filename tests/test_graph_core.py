@@ -1,0 +1,90 @@
+"""Unit tests for Node, Graph and GraphModule."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph, GraphModule
+from repro.graph.node import Node
+
+
+def _build_linear_chain():
+    graph = Graph()
+    x = graph.add_node(Node("x", "placeholder", "x"))
+    w = graph.add_node(Node("param::w", "get_param", "w"))
+    mm = graph.add_node(Node("matmul", "call_op", "matmul", args=(x, w)))
+    act = graph.add_node(Node("relu", "call_op", "relu", args=(mm,)))
+    graph.add_node(Node("output", "output", "output", args=(act,)))
+    return graph
+
+
+def test_node_rejects_invalid_kind():
+    with pytest.raises(ValueError):
+        Node("bad", "frobnicate", "x")
+
+
+def test_node_input_nodes_flatten_nested_args():
+    a = Node("a", "placeholder", "a")
+    b = Node("b", "placeholder", "b")
+    n = Node("op", "call_op", "concat", args=((a, b),), kwargs={"axis": 0})
+    assert [dep.name for dep in n.input_nodes] == ["a", "b"]
+
+
+def test_graph_enforces_topological_insertion():
+    graph = Graph()
+    ghost = Node("ghost", "placeholder", "ghost")
+    with pytest.raises(ValueError):
+        graph.add_node(Node("op", "call_op", "relu", args=(ghost,)))
+
+
+def test_graph_rejects_duplicate_names():
+    graph = Graph()
+    graph.add_node(Node("x", "placeholder", "x"))
+    with pytest.raises(ValueError):
+        graph.add_node(Node("x", "placeholder", "x"))
+
+
+def test_graph_queries():
+    graph = _build_linear_chain()
+    assert [n.name for n in graph.placeholders] == ["x"]
+    assert [n.name for n in graph.operators] == ["matmul", "relu"]
+    assert graph.num_operators == 2
+    assert graph.operator_index("relu") == 1
+    assert graph.output_node.name == "output"
+    assert ("matmul", "relu") in graph.edges()
+    users = graph.users(graph.node("matmul"))
+    assert [u.name for u in users] == ["relu"]
+
+
+def test_graph_validate_passes_for_well_formed_graph():
+    _build_linear_chain().validate()
+
+
+def test_node_signature_names_dependencies_not_values():
+    graph = _build_linear_chain()
+    signature = graph.node_signature(graph.node("matmul"))
+    assert '"__node__":"x"' in signature.replace(" ", "")
+    assert "matmul" in signature
+
+
+def test_fresh_name_uniqueness():
+    graph = Graph()
+    assert graph.fresh_name("linear") == "linear"
+    assert graph.fresh_name("linear") == "linear_1"
+    assert graph.fresh_name("linear") == "linear_2"
+
+
+def test_graph_module_validates_inputs_and_params():
+    graph = _build_linear_chain()
+    params = {"w": np.ones((3, 3), dtype=np.float32)}
+    gm = GraphModule(graph=graph, parameters=params, input_names=["x"], name="chain")
+    assert gm.num_operators == 2
+    assert gm.parameter_nbytes() == 9 * 4
+    assert gm.state_dict().keys() == {"w"}
+    description = gm.describe()
+    assert description["num_operators"] == 2
+    assert description["operator_counts"] == {"matmul": 1, "relu": 1}
+
+    with pytest.raises(ValueError):
+        GraphModule(graph=graph, parameters=params, input_names=["wrong"], name="bad")
+    with pytest.raises(ValueError):
+        GraphModule(graph=graph, parameters={}, input_names=["x"], name="bad")

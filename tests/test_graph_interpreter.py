@@ -1,0 +1,105 @@
+"""Unit tests for the graph interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.graph.interpreter import Interpreter
+from repro.tensorlib.device import DEVICE_FLEET, REFERENCE_DEVICE
+
+
+def test_missing_input_raises(mlp_graph):
+    with pytest.raises(ValueError):
+        Interpreter(DEVICE_FLEET[0]).run(mlp_graph, {})
+
+
+def test_recorded_trace_contains_every_node(mlp_graph, mlp_inputs):
+    trace = Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs, record=True)
+    node_names = {n.name for n in mlp_graph.graph.nodes if n.op != "output"}
+    assert node_names.issubset(set(trace.values))
+
+
+def test_unrecorded_trace_contains_only_outputs(mlp_graph, mlp_inputs):
+    trace = Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs, record=False)
+    assert set(trace.values) == set(trace.output_names)
+
+
+def test_output_accessors(mlp_graph, mlp_inputs):
+    trace = Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs)
+    assert trace.output.shape == (4, 6)
+    assert trace.outputs[0] is trace.output
+    with pytest.raises(KeyError):
+        trace.value("not-a-node")
+
+
+def test_same_device_is_bitwise_deterministic(mlp_graph, mlp_inputs):
+    interp = Interpreter(DEVICE_FLEET[1])
+    a = interp.run(mlp_graph, mlp_inputs)
+    b = interp.run(mlp_graph, mlp_inputs)
+    assert np.array_equal(a.output, b.output)
+
+
+def test_different_devices_diverge_within_tolerance(mlp_graph, mlp_inputs):
+    outputs = [Interpreter(d).run(mlp_graph, mlp_inputs).output for d in DEVICE_FLEET]
+    # Always numerically close ...
+    for out in outputs[1:]:
+        assert np.allclose(out, outputs[0], atol=1e-4)
+    # ... but at least two devices differ in the low-order bits somewhere in
+    # the graph (checked on the pre-softmax linear which has larger magnitude).
+    traces = [Interpreter(d).run(mlp_graph, mlp_inputs, record=True) for d in DEVICE_FLEET]
+    linear_outputs = {t.values["linear_1"].tobytes() for t in traces}
+    assert len(linear_outputs) >= 2
+
+
+def test_flop_counting(mlp_graph, mlp_inputs):
+    trace = Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs, count_flops=True)
+    assert trace.flops.total > 0
+    assert "linear" in trace.flops.per_op
+    without = Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs, count_flops=False)
+    assert without.flops.total == 0
+
+
+def test_overrides_replace_node_value(mlp_graph, mlp_inputs):
+    interp = Interpreter(DEVICE_FLEET[0])
+    honest = interp.run(mlp_graph, mlp_inputs, record=True)
+    tampered_value = honest.values["gelu"] + 0.5
+    tampered = interp.run(mlp_graph, mlp_inputs, record=True,
+                          overrides={"gelu": tampered_value})
+    assert np.allclose(tampered.values["gelu"], tampered_value)
+    assert not np.allclose(tampered.output, honest.output)
+
+
+def test_override_shape_mismatch_raises(mlp_graph, mlp_inputs):
+    with pytest.raises(ValueError):
+        Interpreter(DEVICE_FLEET[0]).run(mlp_graph, mlp_inputs,
+                                         overrides={"gelu": np.zeros((1, 1), dtype=np.float32)})
+
+
+def test_delta_overrides_are_additive(mlp_graph, mlp_inputs):
+    interp = Interpreter(DEVICE_FLEET[0])
+    honest = interp.run(mlp_graph, mlp_inputs, record=True)
+    delta = np.full_like(honest.values["gelu"], 0.25)
+    perturbed = interp.run(mlp_graph, mlp_inputs, record=True,
+                           delta_overrides={"gelu": delta})
+    assert np.allclose(perturbed.values["gelu"], honest.values["gelu"] + 0.25, atol=1e-5)
+
+
+def test_delta_override_shape_mismatch_raises(mlp_graph, mlp_inputs):
+    with pytest.raises(ValueError):
+        Interpreter(DEVICE_FLEET[0]).run(
+            mlp_graph, mlp_inputs, delta_overrides={"gelu": np.zeros(3, dtype=np.float32)}
+        )
+
+
+def test_run_single_operator_matches_recorded_value(mlp_graph, mlp_inputs):
+    interp = Interpreter(DEVICE_FLEET[2])
+    trace = interp.run(mlp_graph, mlp_inputs, record=True)
+    node = next(n for n in mlp_graph.graph.operators if n.target == "gelu")
+    operand = trace.values[node.args[0].name]
+    recomputed = interp.run_single_operator(mlp_graph, node.name, [operand])
+    assert np.array_equal(recomputed, trace.values[node.name])
+
+
+def test_run_single_operator_rejects_non_operator(mlp_graph, mlp_inputs):
+    placeholder = mlp_graph.graph.placeholders[0]
+    with pytest.raises(ValueError):
+        Interpreter(REFERENCE_DEVICE).run_single_operator(mlp_graph, placeholder.name, [])

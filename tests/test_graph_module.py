@@ -1,0 +1,70 @@
+"""Unit tests for the Module / Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.graph.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.bias = Parameter(np.zeros(2))
+
+    def forward(self, x):
+        return x
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Leaf()
+        self.second = Leaf()
+        self.gain = Parameter(np.array([2.0]))
+
+    def forward(self, x):
+        return x
+
+
+def test_parameter_is_ndarray_subclass():
+    p = Parameter([1.0, 2.0])
+    assert isinstance(p, np.ndarray)
+    assert p.dtype == np.float32
+
+
+def test_attribute_assignment_registers_parameters_and_modules():
+    tree = Tree()
+    names = [name for name, _ in tree.named_parameters()]
+    assert names == ["gain", "first.bias", "first.weight", "second.bias", "second.weight"]
+    module_names = [name for name, _ in tree.named_modules()]
+    assert module_names == ["", "first", "second"]
+
+
+def test_state_dict_and_num_parameters():
+    tree = Tree()
+    state = tree.state_dict()
+    assert set(state) == {"gain", "first.bias", "first.weight", "second.bias", "second.weight"}
+    assert tree.num_parameters() == 1 + 2 * (4 + 2)
+
+
+def test_register_parameter_and_add_module():
+    leaf = Leaf()
+    leaf.register_parameter("extra", np.ones(3))
+    assert "extra" in dict(leaf.named_parameters())
+    parent = Leaf()
+    parent.add_module("child", leaf)
+    assert "child.extra" in dict(parent.named_parameters())
+
+
+def test_forward_is_abstract():
+    class NoForward(Module):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        NoForward()(1)
+
+
+def test_call_dispatches_to_forward():
+    leaf = Leaf()
+    assert leaf(5) == 5

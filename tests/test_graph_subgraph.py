@@ -1,0 +1,113 @@
+"""Unit and property tests for cut sets and subgraph extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.interpreter import Interpreter
+from repro.graph.subgraph import SubgraphSlice, extract_subgraph, live_in, live_out
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+def test_slice_validation():
+    with pytest.raises(ValueError):
+        SubgraphSlice(-1, 2)
+    with pytest.raises(ValueError):
+        SubgraphSlice(3, 2)
+    assert SubgraphSlice(2, 5).size == 3
+    assert SubgraphSlice(2, 5).contains(4)
+    assert not SubgraphSlice(2, 5).contains(5)
+
+
+def test_split_covers_parent_contiguously():
+    parent = SubgraphSlice(0, 10)
+    children = parent.split(3)
+    assert children[0].start == 0 and children[-1].end == 10
+    for left, right in zip(children, children[1:]):
+        assert left.end == right.start
+    assert sum(c.size for c in children) == 10
+
+
+def test_split_does_not_create_empty_children():
+    children = SubgraphSlice(0, 3).split(8)
+    assert len(children) == 3
+    assert all(c.size == 1 for c in children)
+
+
+def test_split_single_operator_is_identity():
+    assert SubgraphSlice(4, 5).split(4) == [SubgraphSlice(4, 5)]
+
+
+def test_split_requires_at_least_two_way():
+    with pytest.raises(ValueError):
+        SubgraphSlice(0, 4).split(1)
+
+
+@settings(deadline=None, max_examples=50)
+@given(start=st.integers(0, 50), size=st.integers(1, 200), n_way=st.integers(2, 16))
+def test_split_properties(start, size, n_way):
+    parent = SubgraphSlice(start, start + size)
+    children = parent.split(n_way)
+    assert len(children) <= n_way
+    assert children[0].start == parent.start
+    assert children[-1].end == parent.end
+    assert all(c.size >= 1 for c in children)
+    assert sum(c.size for c in children) == parent.size
+    sizes = [c.size for c in children]
+    assert max(sizes) - min(sizes) <= 1  # near-equal deterministic partition
+
+
+def test_live_in_excludes_params_and_constants(mlp_graph):
+    slice_ = SubgraphSlice(1, 3)
+    inputs = live_in(mlp_graph.graph, slice_)
+    for name in inputs:
+        node = mlp_graph.graph.node(name)
+        assert node.op in ("placeholder", "call_op")
+
+
+def test_live_out_contains_last_operator(mlp_graph):
+    n_ops = mlp_graph.num_operators
+    for end in range(1, n_ops + 1):
+        slice_ = SubgraphSlice(0, end)
+        outs = live_out(mlp_graph.graph, slice_)
+        last_op = mlp_graph.graph.operators[end - 1].name
+        assert last_op in outs
+
+
+def test_slice_out_of_range_raises(mlp_graph):
+    with pytest.raises(ValueError):
+        live_in(mlp_graph.graph, SubgraphSlice(0, mlp_graph.num_operators + 5))
+
+
+def test_extracted_subgraph_reproduces_parent_values(mlp_graph, mlp_inputs):
+    device = DEVICE_FLEET[1]
+    parent_trace = Interpreter(device).run(mlp_graph, mlp_inputs, record=True)
+    n_ops = mlp_graph.num_operators
+    for start, end in [(0, 2), (1, 4), (2, n_ops), (0, n_ops)]:
+        sub = extract_subgraph(mlp_graph, SubgraphSlice(start, end))
+        boundary = {name: parent_trace.values[name] for name in sub.input_names}
+        sub_trace = Interpreter(device).run(sub, boundary, record=True)
+        for name, value in zip(sub_trace.output_names, sub_trace.outputs):
+            assert np.array_equal(value, parent_trace.values[name]), (
+                f"subgraph [{start}:{end}] output {name} diverged from the parent trace"
+            )
+
+
+def test_extracted_subgraph_parameters_restricted(mlp_graph):
+    sub = extract_subgraph(mlp_graph, SubgraphSlice(1, 2))  # the first linear
+    assert set(sub.parameters) == {"w1", "b1"}
+    assert sub.metadata["slice_start"] == 1
+    assert sub.metadata["slice_end"] == 2
+
+
+def test_children_partition_composes_to_parent(mlp_graph, mlp_inputs):
+    """Re-executing every child in order from proposer boundaries reproduces the graph."""
+    device = DEVICE_FLEET[0]
+    parent_trace = Interpreter(device).run(mlp_graph, mlp_inputs, record=True)
+    children = SubgraphSlice(0, mlp_graph.num_operators).split(3)
+    for child in children:
+        sub = extract_subgraph(mlp_graph, child)
+        boundary = {name: parent_trace.values[name] for name in sub.input_names}
+        sub_trace = Interpreter(device).run(sub, boundary, record=True)
+        for name, value in zip(sub_trace.output_names, sub_trace.outputs):
+            assert np.array_equal(value, parent_trace.values[name])

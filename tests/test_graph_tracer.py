@@ -1,0 +1,142 @@
+"""Unit tests for concrete tracing."""
+
+import numpy as np
+import pytest
+
+from repro.graph import functional as F
+from repro.graph.module import Module, Parameter
+from repro.graph.tracer import Tracer, current_tracer, trace_module
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+
+class TracedToy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.full((4, 4), 0.5))
+        self.bias = Parameter(np.zeros(4))
+        self.mask = np.eye(4, dtype=bool)  # not a Parameter -> becomes a constant
+
+    def forward(self, x):
+        h = F.linear(x, self.weight, self.bias)
+        h = h * 2.0 + 1.0          # proxy operator sugar with scalar literals
+        h = F.masked_fill(h, self.mask, value=0.0)
+        return F.softmax(h, axis=-1)
+
+
+def _inputs():
+    return {"x": np.random.default_rng(0).standard_normal((4, 4)).astype(np.float32)}
+
+
+def test_trace_produces_expected_node_kinds():
+    gm = trace_module(TracedToy(), _inputs())
+    kinds = {}
+    for node in gm.graph.nodes:
+        kinds[node.op] = kinds.get(node.op, 0) + 1
+    assert kinds["placeholder"] == 1
+    assert kinds["get_param"] == 2          # weight and bias
+    assert kinds["constant"] == 1           # the mask
+    assert kinds["output"] == 1
+    assert [n.target for n in gm.graph.operators] == [
+        "linear", "mul", "add", "masked_fill", "softmax"
+    ]
+
+
+def test_traced_parameters_are_keyed_by_qualified_name():
+    gm = trace_module(TracedToy(), _inputs())
+    assert set(gm.parameters) == {"weight", "bias"}
+    param_targets = {n.target for n in gm.graph.parameters_used}
+    assert param_targets == {"weight", "bias"}
+
+
+def test_scalar_literals_stay_inline():
+    gm = trace_module(TracedToy(), _inputs())
+    mul_node = next(n for n in gm.graph.operators if n.target == "mul")
+    assert mul_node.args[1] == 2.0
+
+
+def test_trace_values_match_eager_evaluation():
+    module = TracedToy()
+    inputs = _inputs()
+    gm = trace_module(module, inputs)
+    # The tracer evaluates concretely on the reference device; spot-check the
+    # output node's recorded shape against an eager recomputation.
+    out_node = gm.graph.operators[-1]
+    assert out_node.shape == (4, 4)
+
+
+def test_proxy_arithmetic_operators():
+    class Arith(Module):
+        def __init__(self):
+            super().__init__()
+            self.w = Parameter(np.ones((3, 3)))
+
+        def forward(self, x):
+            y = (-x + 1.0) * 2.0 - 0.5
+            z = 1.0 / (y / 3.0)
+            return z @ self.w
+
+    gm = trace_module(Arith(), {"x": np.ones((2, 3), dtype=np.float32) * 0.25})
+    targets = [n.target for n in gm.graph.operators]
+    assert targets == ["neg", "add", "mul", "sub", "div", "div", "matmul"]
+
+
+def test_nested_module_parameter_names():
+    class Inner(Module):
+        def __init__(self):
+            super().__init__()
+            self.proj = Parameter(np.ones((4, 4)))
+
+        def forward(self, x):
+            return F.linear(x, self.proj)
+
+    class Outer(Module):
+        def __init__(self):
+            super().__init__()
+            self.inner = Inner()
+
+        def forward(self, x):
+            return self.inner(x)
+
+    gm = trace_module(Outer(), {"x": np.ones((2, 4), dtype=np.float32)})
+    assert set(gm.parameters) == {"inner.proj"}
+
+
+def test_tracer_requires_proxy_output():
+    class BadOutput(Module):
+        def forward(self, x):
+            return 42
+
+    with pytest.raises(TypeError):
+        trace_module(BadOutput(), {"x": np.zeros(2, dtype=np.float32)})
+
+
+def test_no_active_tracer_outside_trace():
+    assert current_tracer() is None
+    gm = trace_module(TracedToy(), _inputs())
+    assert current_tracer() is None
+    assert gm.num_operators == 5
+
+
+def test_functional_eager_mode_without_tracer():
+    x = np.random.default_rng(1).standard_normal((2, 5)).astype(np.float32)
+    out = F.relu(x)
+    assert isinstance(out, np.ndarray)
+    assert np.allclose(out, np.maximum(x, 0))
+
+
+def test_shared_parameter_traced_once():
+    class Shared(Module):
+        def __init__(self):
+            super().__init__()
+            self.w = Parameter(np.ones((3, 3)))
+
+        def forward(self, x):
+            return F.linear(F.linear(x, self.w), self.w)
+
+    gm = trace_module(Shared(), {"x": np.ones((2, 3), dtype=np.float32)})
+    assert len(gm.graph.parameters_used) == 1
+
+
+def test_metadata_records_tracing_device():
+    gm = trace_module(TracedToy(), _inputs())
+    assert gm.metadata["traced_on"] == REFERENCE_DEVICE.name

@@ -1,0 +1,102 @@
+"""Unit and property tests for the Merkle tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.merkle.tree import MerkleTree, verify_proof
+
+
+def _leaves(n):
+    return [f"leaf-{i}".encode() for i in range(n)]
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree([b"only"])
+    proof = tree.prove(0)
+    assert proof.depth == 0
+    assert verify_proof(b"only", proof, tree.root)
+    assert not verify_proof(b"other", proof, tree.root)
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8, 13, 33])
+def test_all_proofs_verify(n):
+    tree = MerkleTree(_leaves(n))
+    for i in range(n):
+        proof = tree.prove(i)
+        assert verify_proof(tree.leaf(i), proof, tree.root), f"proof {i}/{n} failed"
+
+
+@pytest.mark.parametrize("n", [2, 5, 16])
+def test_tampered_leaf_fails_verification(n):
+    tree = MerkleTree(_leaves(n))
+    proof = tree.prove(n // 2)
+    assert not verify_proof(b"tampered", proof, tree.root)
+
+
+def test_wrong_root_fails_verification():
+    tree_a = MerkleTree(_leaves(6))
+    tree_b = MerkleTree(_leaves(7))
+    proof = tree_a.prove(2)
+    assert not verify_proof(tree_a.leaf(2), proof, tree_b.root)
+
+
+def test_proof_for_wrong_index_fails():
+    tree = MerkleTree(_leaves(8))
+    proof = tree.prove(3)
+    assert not verify_proof(tree.leaf(4), proof, tree.root)
+
+
+def test_root_changes_with_any_leaf():
+    base = MerkleTree(_leaves(9))
+    for i in range(9):
+        leaves = _leaves(9)
+        leaves[i] = b"mutated"
+        assert MerkleTree(leaves).root != base.root
+
+
+def test_leaf_order_matters():
+    leaves = _leaves(4)
+    assert MerkleTree(leaves).root != MerkleTree(list(reversed(leaves))).root
+
+
+def test_prove_out_of_range():
+    tree = MerkleTree(_leaves(4))
+    with pytest.raises(IndexError):
+        tree.prove(4)
+    with pytest.raises(IndexError):
+        tree.prove(-1)
+
+
+def test_depth_is_logarithmic():
+    tree = MerkleTree(_leaves(1024))
+    assert tree.depth == 10
+    assert tree.prove(17).depth <= 10
+
+
+def test_from_named_leaves_sorted_and_indexed():
+    tree, index = MerkleTree.from_named_leaves({"b": b"2", "a": b"1", "c": b"3"})
+    assert list(index) == ["a", "b", "c"]
+    assert verify_proof(b"1", tree.prove(index["a"]), tree.root)
+    assert verify_proof(b"3", tree.prove(index["c"]), tree.root)
+
+
+def test_proof_size_bytes_reported():
+    tree = MerkleTree(_leaves(32))
+    proof = tree.prove(5)
+    assert proof.size_bytes() == 8 + 33 * proof.depth
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=64, unique=True),
+       st.data())
+def test_merkle_inclusion_property(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = tree.prove(index)
+    assert verify_proof(leaves[index], proof, tree.root)
+    assert not verify_proof(leaves[index] + b"x", proof, tree.root)

@@ -1,0 +1,66 @@
+"""Tests for the diffusion sampler and time embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.graph.tracer import trace_module
+from repro.models.diffusion import (
+    DiffusionSampler,
+    MiniUNet,
+    UNetConfig,
+    sinusoidal_time_embedding,
+)
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+@pytest.fixture(scope="module")
+def unet_graph():
+    config = UNetConfig(image_size=8, base_channels=4, time_embed_dim=8, num_timesteps=20)
+    model = MiniUNet(config)
+    gm = trace_module(model, model.example_inputs(batch_size=1), name="unet8")
+    return config, gm
+
+
+def test_time_embedding_shape_and_range():
+    emb = sinusoidal_time_embedding(np.array([0, 5, 19]), dim=16)
+    assert emb.shape == (3, 16)
+    assert (np.abs(emb) <= 1.0 + 1e-6).all()
+    # Different timesteps produce different embeddings.
+    assert not np.allclose(emb[0], emb[2])
+
+
+def test_time_embedding_odd_dimension():
+    emb = sinusoidal_time_embedding(np.array([3]), dim=7)
+    assert emb.shape == (1, 7)
+
+
+def test_sampler_produces_trajectory(unet_graph):
+    config, gm = unet_graph
+    sampler = DiffusionSampler(gm, config, device=DEVICE_FLEET[0])
+    final, trajectory = sampler.sample(batch_size=1, num_steps=3, seed=11)
+    assert len(trajectory) == 3
+    assert final.shape == (1, config.in_channels, config.image_size, config.image_size)
+    assert np.array_equal(final, trajectory[-1])
+    assert np.isfinite(final).all()
+
+
+def test_sampler_is_deterministic_per_device(unet_graph):
+    config, gm = unet_graph
+    sampler = DiffusionSampler(gm, config, device=DEVICE_FLEET[1])
+    final_a, _ = sampler.sample(batch_size=1, num_steps=3, seed=7)
+    final_b, _ = sampler.sample(batch_size=1, num_steps=3, seed=7)
+    assert np.array_equal(final_a, final_b)
+
+
+def test_sampler_diverges_slightly_across_devices(unet_graph):
+    config, gm = unet_graph
+    final_a, _ = DiffusionSampler(gm, config, device=DEVICE_FLEET[0]).sample(1, 3, seed=7)
+    final_b, _ = DiffusionSampler(gm, config, device=DEVICE_FLEET[2]).sample(1, 3, seed=7)
+    assert np.allclose(final_a, final_b, atol=1e-3)
+    assert not np.array_equal(final_a, final_b)
+
+
+def test_sampler_rejects_zero_steps(unet_graph):
+    config, gm = unet_graph
+    with pytest.raises(ValueError):
+        DiffusionSampler(gm, config).sample(1, 0)

@@ -1,0 +1,55 @@
+"""Forward and VJP tests for activation operators."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_relu_forward(rng):
+    x = rng.standard_normal((4, 4)).astype(np.float32)
+    assert np.allclose(_run("relu", x), np.maximum(x, 0.0))
+
+
+def test_leaky_relu_forward(rng):
+    x = rng.standard_normal((4, 4)).astype(np.float32)
+    out = _run("leaky_relu", x, negative_slope=0.1)
+    assert np.allclose(out, np.where(x > 0, x, 0.1 * x), rtol=1e-6)
+
+
+def test_gelu_matches_exact_formula(rng):
+    x = rng.standard_normal((5, 3)).astype(np.float32)
+    expected = x * 0.5 * (1.0 + special.erf(x / np.sqrt(2.0)))
+    assert np.allclose(_run("gelu", x), expected, rtol=1e-5, atol=1e-6)
+
+
+def test_silu_matches_exact_formula(rng):
+    x = rng.standard_normal((5, 3)).astype(np.float32)
+    expected = x / (1.0 + np.exp(-x))
+    assert np.allclose(_run("silu", x), expected, rtol=1e-5, atol=1e-6)
+
+
+def test_gelu_monotone_region():
+    x = np.linspace(0.0, 4.0, 50, dtype=np.float32)
+    out = _run("gelu", x)
+    assert (np.diff(out) > 0).all()
+
+
+@pytest.mark.parametrize("name,attrs", [
+    ("relu", {}),
+    ("leaky_relu", {"negative_slope": 0.05}),
+    ("gelu", {}),
+    ("silu", {}),
+])
+def test_activation_vjps(name, attrs, rng):
+    # Keep values away from the ReLU kink so finite differences are valid.
+    x = rng.standard_normal((4, 5)) + np.where(rng.standard_normal((4, 5)) > 0, 0.5, -0.5)
+    finite_difference_vjp_check(name, [x], attrs, seed=3)

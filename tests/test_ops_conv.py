@@ -1,0 +1,107 @@
+"""Forward and VJP tests for convolution / pooling / upsampling operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_conv2d_identity_kernel(rng):
+    x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+    w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+    w[0, 0, 1, 1] = 1.0
+    out = _run("conv2d", x, w, stride=(1, 1), padding=(1, 1))
+    assert np.allclose(out, x, atol=1e-6)
+
+
+def test_conv2d_stride_downsamples(rng):
+    x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+    w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+    out = _run("conv2d", x, w, stride=(2, 2), padding=(1, 1))
+    assert out.shape == (2, 4, 4, 4)
+
+
+def test_max_pool_and_avg_pool(rng):
+    x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+    maxed = _run("max_pool2d", x, kernel_size=(2, 2), stride=(2, 2))
+    avged = _run("avg_pool2d", x, kernel_size=(2, 2), stride=(2, 2))
+    assert maxed.shape == avged.shape == (1, 2, 2, 2)
+    block = x[0, 0, :2, :2]
+    assert np.isclose(maxed[0, 0, 0, 0], block.max())
+    assert np.isclose(avged[0, 0, 0, 0], block.mean(), atol=1e-6)
+
+
+def test_max_pool_with_padding(rng):
+    x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+    out = _run("max_pool2d", x, kernel_size=(3, 3), stride=(2, 2), padding=(1, 1))
+    assert out.shape == (1, 1, 3, 3)
+    # Padded corners must never win (they are -inf).
+    assert np.isfinite(out).all()
+
+
+def test_adaptive_avg_pool_global_mean(rng):
+    x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+    out = _run("adaptive_avg_pool2d", x, output_size=(1, 1))
+    assert out.shape == (2, 3, 1, 1)
+    assert np.allclose(out[..., 0, 0], x.mean(axis=(2, 3)), atol=1e-5)
+
+
+def test_adaptive_avg_pool_rejects_other_sizes(rng):
+    x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+    with pytest.raises(NotImplementedError):
+        _run("adaptive_avg_pool2d", x, output_size=(2, 2))
+
+
+def test_upsample_nearest(rng):
+    x = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+    out = _run("upsample_nearest", x, scale_factor=2)
+    assert out.shape == (1, 2, 6, 6)
+    assert np.allclose(out[:, :, ::2, ::2], x)
+    assert np.allclose(out[:, :, 1::2, 1::2], x)
+
+
+@pytest.mark.parametrize("with_bias", [True, False])
+def test_conv2d_vjp(with_bias, rng):
+    x = rng.standard_normal((1, 2, 5, 5))
+    w = rng.standard_normal((3, 2, 3, 3))
+    tensors = [x, w] + ([rng.standard_normal(3)] if with_bias else [])
+    finite_difference_vjp_check("conv2d", tensors, {"stride": (1, 1), "padding": (1, 1)},
+                                seed=13)
+
+
+def test_conv2d_vjp_strided(rng):
+    x = rng.standard_normal((1, 2, 6, 6))
+    w = rng.standard_normal((2, 2, 3, 3))
+    finite_difference_vjp_check("conv2d", [x, w], {"stride": (2, 2), "padding": (1, 1)},
+                                seed=14)
+
+
+def test_avg_pool_vjp(rng):
+    x = rng.standard_normal((1, 2, 6, 6))
+    finite_difference_vjp_check("avg_pool2d", [x], {"kernel_size": (2, 2), "stride": (2, 2)},
+                                seed=15)
+
+
+def test_max_pool_vjp(rng):
+    # Distinct values avoid ties so finite differences stay valid.
+    x = np.arange(36, dtype=np.float64).reshape(1, 1, 6, 6)
+    x += 0.01 * rng.standard_normal(x.shape)
+    finite_difference_vjp_check("max_pool2d", [x], {"kernel_size": (2, 2), "stride": (2, 2)},
+                                seed=16)
+
+
+def test_adaptive_avg_pool_vjp(rng):
+    x = rng.standard_normal((2, 3, 4, 4))
+    finite_difference_vjp_check("adaptive_avg_pool2d", [x], {"output_size": (1, 1)}, seed=17)
+
+
+def test_upsample_vjp(rng):
+    x = rng.standard_normal((1, 2, 3, 3))
+    finite_difference_vjp_check("upsample_nearest", [x], {"scale_factor": 2}, seed=18)

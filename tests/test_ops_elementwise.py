@@ -1,0 +1,117 @@
+"""Forward and VJP tests for elementwise operators."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_binary_arithmetic_forward(rng):
+    a = rng.standard_normal((3, 4)).astype(np.float32)
+    b = rng.standard_normal((3, 4)).astype(np.float32)
+    assert np.allclose(_run("add", a, b), a + b)
+    assert np.allclose(_run("sub", a, b), a - b)
+    assert np.allclose(_run("mul", a, b), a * b)
+    assert np.allclose(_run("div", a, b + 3.0), a / (b + 3.0), rtol=1e-6)
+    assert np.allclose(_run("maximum", a, b), np.maximum(a, b))
+    assert np.allclose(_run("minimum", a, b), np.minimum(a, b))
+
+
+def test_binary_broadcasting(rng):
+    a = rng.standard_normal((4, 1, 5)).astype(np.float32)
+    b = rng.standard_normal((3, 5)).astype(np.float32)
+    out = _run("add", a, b)
+    assert out.shape == (4, 3, 5)
+    assert np.allclose(out, a + b)
+
+
+def test_unary_forward(rng):
+    x = (rng.standard_normal((2, 6)) * 0.5).astype(np.float32)
+    positive = np.abs(x) + 0.5
+    assert np.allclose(_run("neg", x), -x)
+    assert np.allclose(_run("abs", x), np.abs(x))
+    assert np.allclose(_run("sqrt", positive), np.sqrt(positive), rtol=1e-6)
+    assert np.allclose(_run("rsqrt", positive), 1.0 / np.sqrt(positive), rtol=1e-5)
+    assert np.allclose(_run("exp", x), np.exp(x), rtol=1e-6)
+    assert np.allclose(_run("log", positive), np.log(positive), rtol=1e-6)
+    assert np.allclose(_run("sin", x), np.sin(x), rtol=1e-6)
+    assert np.allclose(_run("cos", x), np.cos(x), rtol=1e-6)
+    assert np.allclose(_run("tanh", x), np.tanh(x), rtol=1e-6)
+    assert np.allclose(_run("sigmoid", x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-5)
+    assert np.allclose(_run("erf", x), special.erf(x), rtol=1e-5)
+
+
+def test_pow_clip_where(rng):
+    x = (np.abs(rng.standard_normal((3, 3))) + 0.1).astype(np.float32)
+    assert np.allclose(_run("pow", x, exponent=2.0), x ** 2, rtol=1e-6)
+    assert np.allclose(_run("clip", x, minimum=0.2, maximum=0.8), np.clip(x, 0.2, 0.8))
+    cond = x > 0.5
+    y = rng.standard_normal((3, 3)).astype(np.float32)
+    assert np.allclose(_run("where", cond, x, y), np.where(cond, x, y))
+
+
+def test_outputs_are_float32(rng):
+    x = rng.standard_normal((2, 2)).astype(np.float64)
+    for name in ("add", "mul", "exp", "tanh"):
+        args = (x, x) if name in ("add", "mul") else (x,)
+        assert _run(name, *args).dtype == np.float32
+
+
+@pytest.mark.parametrize("name,args,attrs", [
+    ("add", 2, {}),
+    ("sub", 2, {}),
+    ("mul", 2, {}),
+    ("div", 2, {}),
+    ("maximum", 2, {}),
+    ("minimum", 2, {}),
+    ("neg", 1, {}),
+    ("abs", 1, {}),
+    ("exp", 1, {}),
+    ("log", 1, {}),
+    ("sin", 1, {}),
+    ("cos", 1, {}),
+    ("tanh", 1, {}),
+    ("sigmoid", 1, {}),
+    ("erf", 1, {}),
+    ("sqrt", 1, {}),
+    ("rsqrt", 1, {}),
+    ("pow", 1, {"exponent": 3.0}),
+    ("clip", 1, {"minimum": -0.5, "maximum": 0.5}),
+])
+def test_vjp_against_finite_differences(name, args, attrs, rng):
+    # Inputs kept away from non-differentiable points (0 for abs/sqrt, clip edges).
+    base = rng.standard_normal((3, 4)) * 0.4 + 1.2
+    tensors = [base + 0.3 * i for i in range(args)]
+    finite_difference_vjp_check(name, tensors, attrs, seed=7)
+
+
+def test_where_vjp_flows_only_to_selected_branch(rng):
+    cond = rng.standard_normal((4, 4)) > 0
+    a = rng.standard_normal((4, 4))
+    b = rng.standard_normal((4, 4))
+    spec = get_op("where")
+    out = spec.forward(REFERENCE_DEVICE, cond, a, b)
+    grad = np.ones_like(out, dtype=np.float64)
+    grads = spec.vjp(REFERENCE_DEVICE, grad, out, cond, a, b)
+    assert grads[0] is None
+    assert np.allclose(grads[1], cond.astype(np.float64))
+    assert np.allclose(grads[2], (~cond).astype(np.float64))
+
+
+def test_broadcast_vjp_reduces_to_operand_shape(rng):
+    a = rng.standard_normal((1, 5))
+    b = rng.standard_normal((4, 5))
+    spec = get_op("add")
+    out = spec.forward(REFERENCE_DEVICE, a, b)
+    grads = spec.vjp(REFERENCE_DEVICE, np.ones_like(out, dtype=np.float64), out, a, b)
+    assert grads[0].shape == (1, 5)
+    assert grads[1].shape == (4, 5)
+    assert np.allclose(grads[0], 4.0)

@@ -1,0 +1,92 @@
+"""Forward and VJP tests for linear-algebra operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DEVICE_FLEET, REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_matmul_forward(rng):
+    a = rng.standard_normal((6, 10)).astype(np.float32)
+    b = rng.standard_normal((10, 4)).astype(np.float32)
+    assert np.allclose(_run("matmul", a, b), a @ b, atol=1e-5)
+
+
+def test_bmm_forward(rng):
+    a = rng.standard_normal((3, 5, 7)).astype(np.float32)
+    b = rng.standard_normal((3, 7, 2)).astype(np.float32)
+    assert np.allclose(_run("bmm", a, b), np.matmul(a, b), atol=1e-5)
+
+
+def test_linear_forward_matches_torch_layout(rng):
+    x = rng.standard_normal((4, 9)).astype(np.float32)
+    w = rng.standard_normal((5, 9)).astype(np.float32)   # (out, in) like torch.nn.Linear
+    b = rng.standard_normal(5).astype(np.float32)
+    assert np.allclose(_run("linear", x, w, b), x @ w.T + b, atol=1e-5)
+
+
+def test_linear_without_bias(rng):
+    x = rng.standard_normal((4, 9)).astype(np.float32)
+    w = rng.standard_normal((5, 9)).astype(np.float32)
+    assert np.allclose(_run("linear", x, w), x @ w.T, atol=1e-5)
+
+
+def test_linear_batched_input(rng):
+    x = rng.standard_normal((2, 6, 9)).astype(np.float32)
+    w = rng.standard_normal((5, 9)).astype(np.float32)
+    b = rng.standard_normal(5).astype(np.float32)
+    out = _run("linear", x, w, b)
+    assert out.shape == (2, 6, 5)
+    assert np.allclose(out, x @ w.T + b, atol=1e-5)
+
+
+def test_linear_consistent_across_devices_within_tolerance(rng):
+    x = rng.standard_normal((8, 256)).astype(np.float32)
+    w = rng.standard_normal((32, 256)).astype(np.float32)
+    outs = [get_op("linear").forward(d, x, w) for d in DEVICE_FLEET]
+    for out in outs[1:]:
+        assert np.allclose(out, outs[0], atol=1e-3)
+    # ... but not necessarily bitwise identical.
+    assert len({o.tobytes() for o in outs}) >= 2
+
+
+def test_matmul_vjp(rng):
+    a = rng.standard_normal((4, 6))
+    b = rng.standard_normal((6, 3))
+    finite_difference_vjp_check("matmul", [a, b], seed=5)
+
+
+def test_bmm_vjp(rng):
+    a = rng.standard_normal((2, 3, 5))
+    b = rng.standard_normal((2, 5, 4))
+    finite_difference_vjp_check("bmm", [a, b], seed=6)
+
+
+@pytest.mark.parametrize("with_bias", [True, False])
+def test_linear_vjp(with_bias, rng):
+    x = rng.standard_normal((3, 7))
+    w = rng.standard_normal((4, 7))
+    tensors = [x, w] + ([rng.standard_normal(4)] if with_bias else [])
+    finite_difference_vjp_check("linear", tensors, seed=8)
+
+
+def test_linear_vjp_batched(rng):
+    x = rng.standard_normal((2, 3, 7))
+    w = rng.standard_normal((4, 7))
+    b = rng.standard_normal(4)
+    finite_difference_vjp_check("linear", [x, w, b], seed=9)
+
+
+def test_flop_estimates():
+    a = np.zeros((4, 8), dtype=np.float32)
+    b = np.zeros((8, 3), dtype=np.float32)
+    spec = get_op("matmul")
+    out = spec.forward(REFERENCE_DEVICE, a, b)
+    assert spec.estimate_flops(out, a, b) == 2 * 4 * 3 * 8

@@ -1,0 +1,132 @@
+"""Forward and VJP tests for normalization and softmax operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DEVICE_FLEET, REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = rng.standard_normal((4, 11)).astype(np.float32)
+    out = _run("softmax", x, axis=-1)
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+    assert (out >= 0).all()
+
+
+def test_softmax_shift_invariance(rng):
+    x = rng.standard_normal((3, 7)).astype(np.float32)
+    out1 = _run("softmax", x, axis=-1)
+    out2 = _run("softmax", x + 100.0, axis=-1)
+    assert np.allclose(out1, out2, atol=1e-5)
+
+
+def test_softmax_other_axis(rng):
+    x = rng.standard_normal((3, 5, 7)).astype(np.float32)
+    out = _run("softmax", x, axis=1)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_layer_norm_normalizes_last_dim(rng):
+    x = rng.standard_normal((6, 32)).astype(np.float32) * 3.0 + 1.0
+    w = np.ones(32, dtype=np.float32)
+    b = np.zeros(32, dtype=np.float32)
+    out = _run("layer_norm", x, w, b, eps=1e-5)
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_layer_norm_affine_parameters(rng):
+    x = rng.standard_normal((4, 16)).astype(np.float32)
+    w = np.full(16, 2.0, dtype=np.float32)
+    b = np.full(16, -1.0, dtype=np.float32)
+    out = _run("layer_norm", x, w, b)
+    base = _run("layer_norm", x, np.ones(16, dtype=np.float32), np.zeros(16, dtype=np.float32))
+    assert np.allclose(out, 2.0 * base - 1.0, atol=1e-5)
+
+
+def test_rms_norm_matches_reference(rng):
+    x = rng.standard_normal((5, 24)).astype(np.float32)
+    w = rng.standard_normal(24).astype(np.float32)
+    expected = x / np.sqrt((x.astype(np.float64) ** 2).mean(axis=-1, keepdims=True) + 1e-6) * w
+    assert np.allclose(_run("rms_norm", x, w, eps=1e-6), expected, rtol=1e-4, atol=1e-5)
+
+
+def test_batch_norm_inference_formula(rng):
+    x = rng.standard_normal((3, 4, 5, 5)).astype(np.float32)
+    w = rng.standard_normal(4).astype(np.float32)
+    b = rng.standard_normal(4).astype(np.float32)
+    mean = rng.standard_normal(4).astype(np.float32) * 0.1
+    var = (np.abs(rng.standard_normal(4)) + 0.5).astype(np.float32)
+    out = _run("batch_norm", x, w, b, mean, var, eps=1e-5)
+    expected = ((x - mean.reshape(1, 4, 1, 1))
+                / np.sqrt(var.reshape(1, 4, 1, 1) + 1e-5)) * w.reshape(1, 4, 1, 1) \
+        + b.reshape(1, 4, 1, 1)
+    assert np.allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+def test_group_norm_normalizes_groups(rng):
+    x = rng.standard_normal((2, 8, 4, 4)).astype(np.float32) * 2.0 + 3.0
+    w = np.ones(8, dtype=np.float32)
+    b = np.zeros(8, dtype=np.float32)
+    out = _run("group_norm", x, w, b, num_groups=4)
+    grouped = out.reshape(2, 4, 2, 4, 4)
+    assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-4)
+
+
+def test_group_norm_rejects_indivisible_groups(rng):
+    x = rng.standard_normal((1, 6, 2, 2)).astype(np.float32)
+    with pytest.raises(ValueError):
+        _run("group_norm", x, np.ones(6, dtype=np.float32), np.zeros(6, dtype=np.float32),
+             num_groups=4)
+
+
+def test_norms_consistent_across_devices(rng):
+    x = rng.standard_normal((4, 128)).astype(np.float32)
+    w = np.ones(128, dtype=np.float32)
+    b = np.zeros(128, dtype=np.float32)
+    outs = [get_op("layer_norm").forward(d, x, w, b) for d in DEVICE_FLEET]
+    for out in outs[1:]:
+        assert np.allclose(out, outs[0], atol=1e-4)
+
+
+def test_softmax_vjp(rng):
+    x = rng.standard_normal((3, 6))
+    finite_difference_vjp_check("softmax", [x], {"axis": -1}, seed=21)
+
+
+def test_layer_norm_vjp(rng):
+    x = rng.standard_normal((4, 8))
+    w = rng.standard_normal(8)
+    b = rng.standard_normal(8)
+    finite_difference_vjp_check("layer_norm", [x, w, b], {"eps": 1e-5}, seed=22)
+
+
+def test_rms_norm_vjp(rng):
+    x = rng.standard_normal((4, 8))
+    w = rng.standard_normal(8)
+    finite_difference_vjp_check("rms_norm", [x, w], {"eps": 1e-6}, seed=23)
+
+
+def test_batch_norm_vjp(rng):
+    x = rng.standard_normal((2, 3, 4, 4))
+    w = rng.standard_normal(3)
+    b = rng.standard_normal(3)
+    mean = rng.standard_normal(3) * 0.1
+    var = np.abs(rng.standard_normal(3)) + 0.5
+    finite_difference_vjp_check("batch_norm", [x, w, b, mean, var], {"eps": 1e-5},
+                                check_inputs=[0, 1, 2], seed=24)
+
+
+def test_group_norm_vjp(rng):
+    x = rng.standard_normal((2, 4, 3, 3))
+    w = rng.standard_normal(4)
+    b = rng.standard_normal(4)
+    finite_difference_vjp_check("group_norm", [x, w, b], {"num_groups": 2, "eps": 1e-5},
+                                seed=25)

@@ -1,0 +1,68 @@
+"""Forward and VJP tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops.registry import get_op
+from repro.tensorlib.device import DEVICE_FLEET, REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+@pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False), (1, True), ((0, 1), False)])
+def test_sum_mean_var_forward(axis, keepdims, rng):
+    x = rng.standard_normal((6, 9)).astype(np.float32)
+    assert np.allclose(_run("sum", x, axis=axis, keepdims=keepdims),
+                       x.sum(axis=axis, keepdims=keepdims), atol=1e-4)
+    assert np.allclose(_run("mean", x, axis=axis, keepdims=keepdims),
+                       x.mean(axis=axis, keepdims=keepdims), atol=1e-5)
+    assert np.allclose(_run("var", x, axis=axis, keepdims=keepdims),
+                       x.var(axis=axis, keepdims=keepdims), rtol=1e-4, atol=1e-5)
+
+
+def test_amax_amin_argmax_forward(rng):
+    x = rng.standard_normal((5, 7)).astype(np.float32)
+    assert np.allclose(_run("amax", x, axis=1), x.max(axis=1))
+    assert np.allclose(_run("amin", x, axis=0), x.min(axis=0))
+    assert np.array_equal(_run("argmax", x, axis=1), np.argmax(x, axis=1))
+
+
+def test_reductions_run_on_all_devices(rng):
+    x = rng.standard_normal((16, 40)).astype(np.float32)
+    for device in DEVICE_FLEET:
+        out = get_op("sum").forward(device, x, axis=1)
+        assert np.allclose(out, x.sum(axis=1), atol=1e-4)
+
+
+@pytest.mark.parametrize("name,attrs", [
+    ("sum", {"axis": 1}),
+    ("sum", {"axis": None}),
+    ("mean", {"axis": 0, "keepdims": True}),
+    ("mean", {"axis": (0, 1)}),
+    ("var", {"axis": 1}),
+    ("amax", {"axis": 1}),
+    ("amin", {"axis": 0}),
+])
+def test_reduction_vjps(name, attrs, rng):
+    x = rng.standard_normal((5, 6)) * 2.0
+    finite_difference_vjp_check(name, [x], attrs, seed=11)
+
+
+def test_amax_vjp_splits_ties():
+    x = np.array([[1.0, 3.0, 3.0]])
+    spec = get_op("amax")
+    out = spec.forward(REFERENCE_DEVICE, x, axis=1)
+    grads = spec.vjp(REFERENCE_DEVICE, np.ones_like(out, dtype=np.float64), out, x, axis=1)
+    assert np.allclose(grads[0], [[0.0, 0.5, 0.5]])
+
+
+def test_argmax_has_no_gradient(rng):
+    x = rng.standard_normal((3, 4))
+    spec = get_op("argmax")
+    out = spec.forward(REFERENCE_DEVICE, x, axis=1)
+    grads = spec.vjp(REFERENCE_DEVICE, np.zeros_like(out, dtype=np.float64), out, x, axis=1)
+    assert grads == (None,)

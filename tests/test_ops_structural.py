@@ -1,0 +1,129 @@
+"""Forward and VJP tests for structural / data-movement operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops.registry import get_op, list_ops
+from repro.tensorlib.device import REFERENCE_DEVICE
+
+from tests.helpers import finite_difference_vjp_check
+
+
+def _run(name, *tensors, **attrs):
+    return get_op(name).forward(REFERENCE_DEVICE, *tensors, **attrs)
+
+
+def test_reshape_flatten(rng):
+    x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+    assert _run("reshape", x, shape=(6, 4)).shape == (6, 4)
+    assert _run("flatten", x, start_dim=1).shape == (2, 12)
+    assert np.allclose(_run("reshape", x, shape=(-1,)), x.ravel())
+
+
+def test_transpose_permute_expand(rng):
+    x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+    assert np.allclose(_run("transpose", x, axis0=0, axis1=2), np.swapaxes(x, 0, 2))
+    assert np.allclose(_run("permute", x, dims=(2, 0, 1)), np.transpose(x, (2, 0, 1)))
+    small = rng.standard_normal((1, 3, 1)).astype(np.float32)
+    assert _run("expand", small, shape=(5, 3, 2)).shape == (5, 3, 2)
+
+
+def test_concat_and_slice(rng):
+    a = rng.standard_normal((2, 3)).astype(np.float32)
+    b = rng.standard_normal((2, 5)).astype(np.float32)
+    cat = _run("concat", a, b, axis=1)
+    assert cat.shape == (2, 8)
+    assert np.allclose(_run("slice", cat, axis=1, start=0, stop=3), a)
+    assert np.allclose(_run("slice", cat, axis=1, start=3, stop=8), b)
+    assert np.allclose(_run("slice", cat, axis=1, start=0, stop=None, step=2), cat[:, ::2])
+
+
+def test_index_select_and_embedding(rng):
+    table = rng.standard_normal((10, 4)).astype(np.float32)
+    idx = np.array([1, 3, 3, 7], dtype=np.int64)
+    assert np.allclose(_run("index_select", table, idx, axis=0), table[idx])
+    tokens = np.array([[0, 2], [9, 5]], dtype=np.int64)
+    emb = _run("embedding", tokens, table)
+    assert emb.shape == (2, 2, 4)
+    assert np.allclose(emb, table[tokens])
+
+
+def test_masked_fill_dropout_pad_identity(rng):
+    x = rng.standard_normal((3, 3)).astype(np.float32)
+    mask = np.eye(3, dtype=bool)
+    filled = _run("masked_fill", x, mask, value=-9.0)
+    assert np.allclose(np.diag(filled), -9.0)
+    assert np.allclose(filled[~mask], x[~mask])
+
+    assert np.allclose(_run("dropout", x, p=0.5), x)  # eval mode: identity
+    padded = _run("pad", x, pad_width=((1, 1), (0, 2)), value=0.5)
+    assert padded.shape == (5, 5)
+    assert np.allclose(padded[0], 0.5)
+    assert np.allclose(_run("identity", x), x)
+
+
+def test_structural_ops_marked_as_non_rounding():
+    for name in ("reshape", "flatten", "transpose", "permute", "concat", "slice",
+                 "embedding", "masked_fill", "dropout", "pad", "identity"):
+        assert get_op(name).introduces_rounding is False
+        assert get_op(name).estimate_flops(np.zeros(4)) == 0.0
+
+
+def test_registry_category_listing():
+    structural = list_ops(category="structural")
+    assert "reshape" in structural and "embedding" in structural
+    assert "matmul" not in structural
+
+
+@pytest.mark.parametrize("name,tensors_builder,attrs", [
+    ("reshape", lambda rng: [rng.standard_normal((2, 6))], {"shape": (3, 4)}),
+    ("flatten", lambda rng: [rng.standard_normal((2, 3, 2))], {"start_dim": 1}),
+    ("transpose", lambda rng: [rng.standard_normal((3, 4))], {"axis0": 0, "axis1": 1}),
+    ("permute", lambda rng: [rng.standard_normal((2, 3, 4))], {"dims": (1, 2, 0)}),
+    ("expand", lambda rng: [rng.standard_normal((1, 4))], {"shape": (3, 4)}),
+    ("slice", lambda rng: [rng.standard_normal((4, 6))],
+     {"axis": 1, "start": 1, "stop": 5, "step": 2}),
+    ("pad", lambda rng: [rng.standard_normal((3, 3))],
+     {"pad_width": ((1, 0), (0, 1)), "value": 0.0}),
+    ("dropout", lambda rng: [rng.standard_normal((3, 3))], {"p": 0.1}),
+    ("identity", lambda rng: [rng.standard_normal((3, 3))], {}),
+])
+def test_structural_vjps(name, tensors_builder, attrs, rng):
+    finite_difference_vjp_check(name, tensors_builder(rng), attrs, seed=31)
+
+
+def test_concat_vjp_splits_gradient(rng):
+    a = rng.standard_normal((2, 3))
+    b = rng.standard_normal((2, 2))
+    spec = get_op("concat")
+    out = spec.forward(REFERENCE_DEVICE, a, b, axis=1)
+    grad = rng.standard_normal(out.shape)
+    grads = spec.vjp(REFERENCE_DEVICE, grad, out, a, b, axis=1)
+    assert np.allclose(grads[0], grad[:, :3])
+    assert np.allclose(grads[1], grad[:, 3:])
+
+
+def test_embedding_vjp_scatters_to_rows(rng):
+    table = rng.standard_normal((6, 3))
+    tokens = np.array([[1, 1], [4, 0]], dtype=np.int64)
+    spec = get_op("embedding")
+    out = spec.forward(REFERENCE_DEVICE, tokens, table)
+    grad = np.ones_like(out, dtype=np.float64)
+    grads = spec.vjp(REFERENCE_DEVICE, grad, out, tokens, table)
+    assert grads[0] is None
+    grad_table = grads[1]
+    assert np.allclose(grad_table[1], 2.0)   # token 1 appears twice
+    assert np.allclose(grad_table[4], 1.0)
+    assert np.allclose(grad_table[2], 0.0)
+
+
+def test_masked_fill_vjp_blocks_masked_positions(rng):
+    x = rng.standard_normal((3, 3))
+    mask = np.zeros((3, 3), dtype=bool)
+    mask[0, 0] = True
+    spec = get_op("masked_fill")
+    out = spec.forward(REFERENCE_DEVICE, x, mask, value=0.0)
+    grads = spec.vjp(REFERENCE_DEVICE, np.ones_like(out, dtype=np.float64), out, x, mask, value=0.0)
+    assert grads[0][0, 0] == 0.0
+    assert grads[0][1, 1] == 1.0
+    assert grads[1] is None

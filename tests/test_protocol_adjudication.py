@@ -1,0 +1,124 @@
+"""Unit tests for single-operator adjudication (Phase 3)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.fp_model import BoundMode
+from repro.graph.interpreter import Interpreter
+from repro.graph.node import Node
+from repro.protocol.adjudication import (
+    AdjudicationDecision,
+    committee_vote,
+    route_and_adjudicate,
+    theoretical_bound_check,
+)
+from repro.protocol.roles import CommitteeMember
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+def _leaf_state(mlp_graph, mlp_inputs, op_target="linear_1", device=DEVICE_FLEET[0]):
+    """Return (operator name, operand values, honest output) from a proposer trace."""
+    trace = Interpreter(device).run(mlp_graph, mlp_inputs, record=True)
+    node = mlp_graph.graph.node(op_target)
+    operands = []
+    for arg in node.args:
+        if isinstance(arg, Node):
+            if arg.op == "get_param":
+                operands.append(np.asarray(mlp_graph.parameters[arg.target]))
+            else:
+                operands.append(trace.values[arg.name])
+        else:
+            operands.append(arg)
+    return node.name, operands, trace.values[node.name]
+
+
+@pytest.fixture(scope="module")
+def committee():
+    return [CommitteeMember(f"cm{i}", DEVICE_FLEET[i % len(DEVICE_FLEET)]) for i in range(3)]
+
+
+def test_theoretical_check_accepts_honest_cross_device_output(mlp_graph, mlp_inputs):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs, device=DEVICE_FLEET[0])
+    # Challenger re-executes on a different device: divergence is pure FP noise.
+    result = theoretical_bound_check(mlp_graph, name, operands, honest_output,
+                                     device=DEVICE_FLEET[3])
+    assert result.decision is AdjudicationDecision.PROPOSER_HONEST
+    assert result.max_violation_ratio <= 1.0
+    assert result.path == "theoretical_bound"
+    assert result.flops > 0
+
+
+def test_theoretical_check_rejects_large_perturbation(mlp_graph, mlp_inputs):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    result = theoretical_bound_check(mlp_graph, name, operands, honest_output + 0.01,
+                                     device=DEVICE_FLEET[1])
+    assert result.proposer_cheated
+    assert result.max_violation_ratio > 1.0
+
+
+def test_theoretical_check_deterministic_mode_is_more_permissive(mlp_graph, mlp_inputs):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    perturbed = honest_output + np.float32(2e-6)
+    prob = theoretical_bound_check(mlp_graph, name, operands, perturbed,
+                                   device=DEVICE_FLEET[1], mode=BoundMode.PROBABILISTIC)
+    det = theoretical_bound_check(mlp_graph, name, operands, perturbed,
+                                  device=DEVICE_FLEET[1], mode=BoundMode.DETERMINISTIC)
+    assert det.max_violation_ratio <= prob.max_violation_ratio
+
+
+def test_committee_vote_accepts_honest_and_rejects_cheat(mlp_graph, mlp_inputs, mlp_thresholds,
+                                                         committee):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    accept = committee_vote(mlp_graph, name, operands, honest_output, committee, mlp_thresholds)
+    assert accept.decision is AdjudicationDecision.PROPOSER_HONEST
+    assert accept.details["votes_for"] == len(committee)
+
+    reject = committee_vote(mlp_graph, name, operands, honest_output + 0.01,
+                            committee, mlp_thresholds)
+    assert reject.proposer_cheated
+    assert reject.details["votes_for"] < len(committee)
+    assert len(reject.committee_votes) == len(committee)
+
+
+def test_committee_vote_requires_members(mlp_graph, mlp_inputs, mlp_thresholds):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    with pytest.raises(ValueError):
+        committee_vote(mlp_graph, name, operands, honest_output, [], mlp_thresholds)
+
+
+def test_routing_uses_theoretical_path_for_gross_violations(mlp_graph, mlp_inputs,
+                                                            mlp_thresholds, committee):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    result = route_and_adjudicate(mlp_graph, name, operands, honest_output + 0.05,
+                                  challenger_device=DEVICE_FLEET[2], committee=committee,
+                                  thresholds=mlp_thresholds)
+    assert result.path == "theoretical_bound"
+    assert result.proposer_cheated
+
+
+def test_routing_falls_back_to_committee_for_subtle_claims(mlp_graph, mlp_inputs,
+                                                           mlp_thresholds, committee):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    result = route_and_adjudicate(mlp_graph, name, operands, honest_output,
+                                  challenger_device=DEVICE_FLEET[2], committee=committee,
+                                  thresholds=mlp_thresholds)
+    assert result.path == "committee_vote"
+    assert result.decision is AdjudicationDecision.PROPOSER_HONEST
+    assert "theoretical_max_ratio" in result.details
+
+
+def test_routing_committee_catches_within_theoretical_but_outside_empirical(
+        mlp_graph, mlp_inputs, mlp_thresholds, committee):
+    """A perturbation small enough to hide inside tau_theo is still caught by the
+    (much tighter) empirical committee vote — the paper's motivation for path (ii)."""
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs, op_target="linear")
+    from repro.bounds.coexec import BoundInterpreter
+
+    reference, tau = BoundInterpreter(DEVICE_FLEET[2]).bound_single_operator(
+        mlp_graph, name, operands)
+    sneaky = (reference + 0.5 * tau).astype(np.float32)  # inside tau_theo everywhere
+    result = route_and_adjudicate(mlp_graph, name, operands, sneaky,
+                                  challenger_device=DEVICE_FLEET[2], committee=committee,
+                                  thresholds=mlp_thresholds)
+    assert result.path == "committee_vote"
+    assert result.proposer_cheated

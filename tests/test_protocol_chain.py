@@ -1,0 +1,74 @@
+"""Unit tests for the simulated ledger and gas schedule."""
+
+import pytest
+
+from repro.protocol.chain import GasSchedule, SimulatedChain
+
+
+def test_gas_schedule_components():
+    schedule = GasSchedule()
+    base = schedule.cost("finalize", calldata_bytes=0, storage_writes=0)
+    assert base == 21_000 + schedule.action_surcharge["finalize"]
+    with_data = schedule.cost("finalize", calldata_bytes=100, storage_writes=0)
+    assert with_data == base + 16 * 100
+    with_storage = schedule.cost("finalize", calldata_bytes=0, storage_writes=2)
+    assert with_storage == base + 2 * 20_000
+    with_checks = schedule.cost("finalize", merkle_checks=3, storage_writes=0)
+    assert with_checks == base + 3 * schedule.action_surcharge["merkle_check"]
+
+
+def test_unknown_action_uses_default_surcharge():
+    schedule = GasSchedule()
+    assert schedule.cost("bespoke_action", storage_writes=0) == 21_000 + 20_000
+
+
+def test_submit_logs_transactions_and_advances_blocks():
+    chain = SimulatedChain()
+    assert chain.block_number == 0
+    tx = chain.submit("alice", "submit_result", payload_bytes=128)
+    assert tx.index == 0
+    assert tx.gas_used > 21_000
+    assert chain.block_number == 1
+    assert chain.timestamp == pytest.approx(12.0)
+    chain.submit("bob", "finalize")
+    assert len(chain.transactions) == 2
+
+
+def test_advance_time_moves_at_least_one_block():
+    chain = SimulatedChain(block_interval_s=12.0)
+    chain.advance_time(5.0)
+    assert chain.block_number == 1
+    chain.advance_time(60.0)
+    assert chain.block_number == 6
+    with pytest.raises(ValueError):
+        chain.advance_time(-1.0)
+    with pytest.raises(ValueError):
+        chain.advance_blocks(-1)
+
+
+def test_balances_and_transfers():
+    chain = SimulatedChain()
+    chain.fund("alice", 100.0)
+    chain.transfer("alice", "bob", 30.0)
+    assert chain.balance("alice") == pytest.approx(70.0)
+    assert chain.balance("bob") == pytest.approx(30.0)
+    with pytest.raises(ValueError):
+        chain.transfer("alice", "bob", 1000.0)
+    with pytest.raises(ValueError):
+        chain.transfer("alice", "bob", -1.0)
+    with pytest.raises(ValueError):
+        chain.fund("alice", -5.0)
+
+
+def test_gas_accounting_helpers():
+    chain = SimulatedChain()
+    chain.submit("a", "open_dispute")
+    marker = len(chain.transactions)
+    chain.submit("a", "post_partition", payload_bytes=200)
+    chain.submit("b", "post_selection")
+    total = chain.total_gas(since_index=marker)
+    by_action = chain.gas_by_action(since_index=marker)
+    assert total == by_action["post_partition"] + by_action["post_selection"]
+    assert chain.total_gas(actions=["post_selection"], since_index=marker) == \
+        by_action["post_selection"]
+    assert chain.total_gas() > total

@@ -1,0 +1,120 @@
+"""Unit tests for the incentive / economics model (Sec. 5.5)."""
+
+import pytest
+
+from repro.protocol.economics import (
+    EconomicParameters,
+    analyze_incentives,
+    challenger_payoff,
+    committee_member_payoff,
+    detection_probability,
+    feasible_slash_region,
+    proposer_payoff_cheap_cheat,
+    proposer_payoff_honest,
+    proposer_payoff_targeted_cheat,
+    slash_region_sweep,
+)
+
+
+def test_detection_probability_formula():
+    assert detection_probability(0.2, 0.3, 0.0) == pytest.approx(0.5)
+    assert detection_probability(0.2, 0.3, 0.1) == pytest.approx(0.45)
+    assert detection_probability(0.0, 0.0, 0.0) == 0.0
+
+
+def test_detection_probability_validation():
+    with pytest.raises(ValueError):
+        detection_probability(-0.1, 0.3, 0.0)
+    with pytest.raises(ValueError):
+        detection_probability(0.7, 0.6, 0.0)
+    with pytest.raises(ValueError):
+        detection_probability(0.2, 0.3, 1.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        EconomicParameters(challenger_reward_share=0.0)
+    with pytest.raises(ValueError):
+        EconomicParameters(challenger_reward_share=0.8, committee_reward_share=0.5)
+    with pytest.raises(ValueError):
+        EconomicParameters(committee_size=0)
+
+
+def test_proposer_payoffs_follow_equations():
+    params = EconomicParameters(false_positive_rate=0.01)
+    slash = 500.0
+    assert proposer_payoff_honest(params, slash) == pytest.approx(
+        params.task_reward - params.honest_cost - 0.01 * slash)
+    assert proposer_payoff_cheap_cheat(params, slash) == pytest.approx(
+        params.task_reward - params.cheap_cheat_cost - params.detection * slash)
+    assert proposer_payoff_targeted_cheat(params) == pytest.approx(
+        params.task_reward - params.targeted_cheat_cost)
+
+
+def test_challenger_and_committee_payoffs():
+    params = EconomicParameters()
+    slash = 400.0
+    assert challenger_payoff(params, slash, proposer_guilty=True) == pytest.approx(
+        (1 - params.false_negative_rate) * params.challenger_reward_share * slash
+        - params.challenge_cost)
+    assert challenger_payoff(params, slash, proposer_guilty=False) < 0
+    assert committee_member_payoff(params, slash, ruled_guilty=True) == pytest.approx(
+        params.committee_reward_share * slash / params.committee_size
+        - params.committee_member_cost)
+    assert committee_member_payoff(params, slash, ruled_guilty=False) == pytest.approx(
+        params.committee_fee - params.committee_member_cost)
+
+
+def test_feasible_region_structure():
+    params = EconomicParameters()
+    region = feasible_slash_region(params)
+    assert region.lower_bound == max(region.l1_deter_cheap_cheat,
+                                     region.l2_profitable_challenge,
+                                     region.l3_committee_participation)
+    assert region.upper_bound == params.proposer_deposit
+    assert region.feasible
+    assert region.contains(region.upper_bound)
+    assert not region.contains(region.lower_bound)
+
+
+def test_region_becomes_infeasible_with_tiny_deposit():
+    params = EconomicParameters(proposer_deposit=10.0)
+    region = feasible_slash_region(params)
+    assert not region.feasible
+
+
+def test_region_infeasible_when_detection_below_false_positive():
+    params = EconomicParameters(audit_probability=0.0, challenge_probability=0.01,
+                                false_negative_rate=0.5, false_positive_rate=0.2)
+    region = feasible_slash_region(params)
+    assert region.l1_deter_cheap_cheat == float("inf")
+    assert not region.feasible
+
+
+def test_default_analysis_is_incentive_compatible():
+    analysis = analyze_incentives(EconomicParameters())
+    assert analysis.incentive_compatible
+    assert analysis.honest_payoff > analysis.cheap_cheat_payoff
+    assert analysis.targeted_cheat_payoff <= 0
+    assert analysis.challenger_payoff_guilty > 0
+    assert analysis.challenger_payoff_clean <= 0
+    assert analysis.committee_payoff_guilty > 0 and analysis.committee_payoff_clean > 0
+    assert analysis.feasibility.contains(analysis.slash)
+
+
+def test_too_small_slash_fails_deterrence():
+    params = EconomicParameters()
+    analysis = analyze_incentives(params, slash=1.0)
+    assert not analysis.honesty_beats_cheap_cheating
+    assert not analysis.incentive_compatible
+
+
+def test_slash_region_sweep_marks_feasible_values():
+    params = EconomicParameters()
+    region = feasible_slash_region(params)
+    candidates = [1.0, region.lower_bound * 1.1, params.proposer_deposit,
+                  params.proposer_deposit * 2]
+    results = dict(slash_region_sweep(params, candidates))
+    assert results[1.0] is False
+    assert results[params.proposer_deposit] is True
+    assert results[params.proposer_deposit * 2] is False  # exceeds the deposit

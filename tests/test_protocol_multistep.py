@@ -1,0 +1,175 @@
+"""Tests for multi-step temporal commitments, prefix finality and tie-break rules."""
+
+import numpy as np
+import pytest
+
+from repro.graph.interpreter import Interpreter
+from repro.merkle.tree import verify_proof
+from repro.protocol.multistep import (
+    MultiStepDispute,
+    commit_step_chain,
+    find_earliest_offending_step,
+    hash_seeded_tie_break,
+    lexicographic_tie_break,
+)
+from repro.tensorlib.device import DEVICE_FLEET
+
+
+# ---------------------------------------------------------------------------
+# A tiny recurrent workload: state_{t+1} = softmax-mix of the MLP output.
+# ---------------------------------------------------------------------------
+
+def _step_inputs_builder():
+    def build(step_index: int, previous_state: np.ndarray):
+        return {"x": previous_state.astype(np.float32)}
+    return build
+
+
+def _state_update():
+    def update(step_index: int, previous_state: np.ndarray, output: np.ndarray):
+        # Mix the model output back into a (4, 32) state deterministically.
+        tiled = np.tile(output, (1, 6))[:, :32]
+        return (0.5 * previous_state + 0.5 * tiled).astype(np.float32)
+    return update
+
+
+def _run_chain(mlp_graph, initial_state, num_steps, device, tamper_step=None,
+               tamper_value=0.05):
+    """Proposer-side chain execution, optionally tampering with one step."""
+    interp = Interpreter(device)
+    build, update = _step_inputs_builder(), _state_update()
+    states = []
+    state = initial_state
+    for step in range(num_steps):
+        trace = interp.run(mlp_graph, build(step, state))
+        state = update(step, state, trace.output)
+        if tamper_step is not None and step == tamper_step:
+            state = (state + tamper_value).astype(np.float32)
+        states.append(state)
+    return states
+
+
+@pytest.fixture()
+def initial_state(mlp_input_factory):
+    return mlp_input_factory(31415)["x"]
+
+
+def test_commit_step_chain_structure(mlp_graph, initial_state):
+    states = _run_chain(mlp_graph, initial_state, 4, DEVICE_FLEET[0])
+    commitment = commit_step_chain(initial_state, states)
+    assert commitment.num_steps == 4
+    assert len(commitment.root) == 32
+    # Each step can be opened against the temporal root.
+    for i, record in enumerate(commitment.steps):
+        assert verify_proof(record.state_hash, commitment.step_proof(i), commitment.root)
+
+
+def test_commit_step_chain_requires_steps(initial_state):
+    with pytest.raises(ValueError):
+        commit_step_chain(initial_state, [])
+
+
+def test_honest_chain_attains_full_prefix_finality(mlp_graph, initial_state):
+    states = _run_chain(mlp_graph, initial_state, 4, DEVICE_FLEET[0])
+    commitment = commit_step_chain(initial_state, states)
+    offending, checks = find_earliest_offending_step(
+        commitment, initial_state, mlp_graph, _step_inputs_builder(), _state_update(),
+        device=DEVICE_FLEET[3], step_tolerance=1e-3,
+    )
+    assert offending is None
+    assert len(checks) == 4
+    assert all(c.within_tolerance for c in checks)
+    assert max(c.max_abs_deviation for c in checks) < 1e-4
+
+
+@pytest.mark.parametrize("tamper_step", [0, 1, 2, 3])
+def test_earliest_offending_step_is_identified(mlp_graph, initial_state, tamper_step):
+    states = _run_chain(mlp_graph, initial_state, 4, DEVICE_FLEET[0],
+                        tamper_step=tamper_step)
+    commitment = commit_step_chain(initial_state, states)
+    offending, checks = find_earliest_offending_step(
+        commitment, initial_state, mlp_graph, _step_inputs_builder(), _state_update(),
+        device=DEVICE_FLEET[2], step_tolerance=1e-3,
+    )
+    assert offending == tamper_step
+    # Time-bisection stops at the first offending step (prefix finality for
+    # everything before it).
+    assert len(checks) == tamper_step + 1
+    assert all(c.within_tolerance for c in checks[:-1])
+    assert not checks[-1].within_tolerance
+
+
+def test_multistep_dispute_outcome(mlp_graph, mlp_thresholds, initial_state):
+    tamper_step = 2
+    states = _run_chain(mlp_graph, initial_state, 5, DEVICE_FLEET[0],
+                        tamper_step=tamper_step)
+    commitment = commit_step_chain(initial_state, states)
+    dispute = MultiStepDispute(
+        mlp_graph, mlp_thresholds, _step_inputs_builder(), _state_update(),
+        device=DEVICE_FLEET[1], step_tolerance=1e-3,
+    )
+
+    disputed_inputs = {}
+
+    def dispute_step(step_index, step_inputs):
+        disputed_inputs["step"] = step_index
+        disputed_inputs["inputs"] = step_inputs
+        return "operator-dispute-ran"
+
+    outcome = dispute.resolve(commitment, initial_state, dispute_step=dispute_step)
+    assert not outcome.fully_finalized
+    assert outcome.offending_step == tamper_step
+    assert outcome.finalized_prefix == tamper_step
+    assert outcome.operator_dispute == "operator-dispute-ran"
+    assert disputed_inputs["step"] == tamper_step
+    # The in-step dispute starts from the last accepted (claimed) state.
+    expected_prev = states[tamper_step - 1]
+    assert np.array_equal(disputed_inputs["inputs"]["x"], expected_prev)
+
+
+def test_multistep_honest_resolution(mlp_graph, mlp_thresholds, initial_state):
+    states = _run_chain(mlp_graph, initial_state, 3, DEVICE_FLEET[0])
+    commitment = commit_step_chain(initial_state, states)
+    dispute = MultiStepDispute(
+        mlp_graph, mlp_thresholds, _step_inputs_builder(), _state_update(),
+        device=DEVICE_FLEET[2], step_tolerance=1e-3,
+    )
+    outcome = dispute.resolve(commitment, initial_state)
+    assert outcome.fully_finalized
+    assert outcome.finalized_prefix == 3
+    assert outcome.operator_dispute is None
+
+
+# ---------------------------------------------------------------------------
+# Tie-break rules
+# ---------------------------------------------------------------------------
+
+def test_lexicographic_tie_break_prefers_smallest_index():
+    logits = np.array([0.0, 1.0, 1.0 - 1e-7, 0.5])
+    assert lexicographic_tie_break(logits, margin=1e-6) == 1
+    assert lexicographic_tie_break(logits, margin=0.0) == 1
+    # A wide margin pulls index 3 into the candidate set but 1 still wins.
+    assert lexicographic_tie_break(logits, margin=0.6) == 1
+
+
+def test_lexicographic_tie_break_is_drift_stable():
+    """Honest executions whose logits differ by less than the margin agree."""
+    rng = np.random.default_rng(0)
+    logits = rng.standard_normal(16)
+    logits[3] = logits.max() + 5e-8
+    logits[9] = logits[3] - 1e-8   # within tolerance of the top
+    drifted = logits + rng.uniform(-1e-8, 1e-8, size=16)
+    margin = 1e-6
+    assert lexicographic_tie_break(logits, margin) == lexicographic_tie_break(drifted, margin)
+
+
+def test_hash_seeded_tie_break_deterministic_and_in_candidate_set():
+    logits = np.array([2.0, 2.0 - 1e-9, 1.0])
+    seed = b"committed-execution-hash"
+    first = hash_seeded_tie_break(logits, margin=1e-6, seed_material=seed)
+    second = hash_seeded_tie_break(logits, margin=1e-6, seed_material=seed)
+    assert first == second
+    assert first in (0, 1)
+    # A different committed seed may pick the other near-tie candidate, but a
+    # clear winner is always returned unchanged.
+    assert hash_seeded_tie_break(np.array([5.0, 1.0]), 1e-6, seed) == 0

@@ -1,0 +1,48 @@
+"""Unit tests for FLOP accounting."""
+
+import numpy as np
+
+from repro.tensorlib.flops import (
+    FlopCounter,
+    conv2d_flops,
+    elementwise_flops,
+    matmul_flops,
+    normalization_flops,
+    reduction_flops,
+    softmax_flops,
+)
+
+
+def test_flop_counter_accumulates_and_merges():
+    counter = FlopCounter()
+    counter.add("matmul", 100.0)
+    counter.add("matmul", 50.0)
+    counter.add("relu", 10.0)
+    assert counter.per_op["matmul"] == 150.0
+    assert counter.total == 160.0
+
+    other = FlopCounter()
+    other.add("relu", 5.0)
+    counter.merge(other)
+    assert counter.per_op["relu"] == 15.0
+    assert counter.as_giga() == counter.total / 1e9
+
+
+def test_matmul_flops_2d():
+    assert matmul_flops((4, 8), (8, 3)) == 2 * 4 * 3 * 8
+
+
+def test_matmul_flops_batched():
+    assert matmul_flops((2, 5, 4, 8), (2, 5, 8, 3)) == 2 * 10 * 4 * 3 * 8
+
+
+def test_conv2d_flops():
+    flops = conv2d_flops((1, 3, 8, 8), (4, 3, 3, 3), (8, 8))
+    assert flops == 2 * 1 * 4 * 8 * 8 * 3 * 3 * 3
+
+
+def test_elementwise_and_reduction_flops():
+    assert elementwise_flops((2, 3), 2.0) == 12.0
+    assert reduction_flops((4, 5)) == 20.0
+    assert normalization_flops((2, 8)) == 5 * 16
+    assert softmax_flops((2, 8)) == 5 * 16

@@ -1,0 +1,38 @@
+"""Unit tests for repro.utils.hashing."""
+
+import hashlib
+
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import hash_concat, sha256_bytes, sha256_hex
+
+
+def test_sha256_bytes_matches_hashlib():
+    payload = b"tao verification"
+    assert sha256_bytes(payload) == hashlib.sha256(payload).digest()
+
+
+def test_sha256_hex_matches_hashlib():
+    payload = b"tolerance aware"
+    assert sha256_hex(payload) == hashlib.sha256(payload).hexdigest()
+
+
+def test_hash_concat_is_order_sensitive():
+    assert hash_concat([b"a", b"b"]) != hash_concat([b"b", b"a"])
+
+
+def test_hash_concat_framing_prevents_ambiguity():
+    # Without length framing these two would collide.
+    assert hash_concat([b"ab", b"c"]) != hash_concat([b"a", b"bc"])
+    assert hash_concat([b"abc"]) != hash_concat([b"ab", b"c"])
+
+
+def test_hash_concat_empty_parts_are_distinct():
+    assert hash_concat([]) != hash_concat([b""])
+    assert hash_concat([b""]) != hash_concat([b"", b""])
+
+
+@given(st.lists(st.binary(max_size=64), max_size=8))
+def test_hash_concat_deterministic(parts):
+    assert hash_concat(parts) == hash_concat(parts)
+    assert len(hash_concat(parts)) == 32

@@ -1,0 +1,70 @@
+"""Unit tests for canonical serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.serialization import canonical_bytes, canonical_json
+
+
+def test_identical_arrays_serialize_identically():
+    a = np.arange(12, dtype=np.float32).reshape(3, 4)
+    b = np.arange(12, dtype=np.float32).reshape(3, 4)
+    assert canonical_bytes(a) == canonical_bytes(b)
+
+
+def test_single_bit_change_changes_bytes():
+    a = np.arange(12, dtype=np.float32).reshape(3, 4)
+    b = a.copy()
+    b[1, 2] = np.nextafter(b[1, 2], np.inf)
+    assert canonical_bytes(a) != canonical_bytes(b)
+
+
+def test_dtype_is_part_of_the_encoding():
+    a = np.zeros(4, dtype=np.float32)
+    b = np.zeros(4, dtype=np.float64)
+    assert canonical_bytes(a) != canonical_bytes(b)
+
+
+def test_shape_is_part_of_the_encoding():
+    a = np.zeros((2, 3), dtype=np.float32)
+    b = np.zeros((3, 2), dtype=np.float32)
+    assert canonical_bytes(a) != canonical_bytes(b)
+
+
+def test_non_contiguous_array_equals_contiguous_copy():
+    base = np.arange(24, dtype=np.float32).reshape(4, 6)
+    view = base[:, ::2]
+    assert canonical_bytes(view) == canonical_bytes(np.ascontiguousarray(view))
+
+
+def test_nested_structures_are_supported():
+    payload = {"b": [1, 2.5, "x"], "a": np.ones(3, dtype=np.float32), "c": None}
+    encoded = canonical_bytes(payload)
+    assert isinstance(encoded, bytes)
+    assert canonical_bytes(payload) == encoded
+
+
+def test_dict_key_order_does_not_matter():
+    a = {"x": 1, "y": 2}
+    b = {"y": 2, "x": 1}
+    assert canonical_bytes(a) == canonical_bytes(b)
+    assert canonical_json(a) == canonical_json(b)
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+
+
+def test_canonical_json_handles_numpy_scalars():
+    text = canonical_json({"a": np.float32(1.5), "b": np.int64(3), "c": np.bool_(True)})
+    assert "1.5" in text and "3" in text and "true" in text
+
+
+@settings(deadline=None, max_examples=30)
+@given(hnp.arrays(dtype=np.float32, shape=hnp.array_shapes(max_dims=3, max_side=5),
+                  elements=st.floats(-1e6, 1e6, width=32)))
+def test_canonical_bytes_deterministic_for_arrays(arr):
+    assert canonical_bytes(arr) == canonical_bytes(arr.copy())

@@ -1,0 +1,55 @@
+"""Tests for synthetic workloads."""
+
+import numpy as np
+
+from repro.models import get_model_spec
+from repro.workloads.datasets import (
+    SyntheticImageDataset,
+    SyntheticTokenDataset,
+    calibration_dataset,
+    serving_requests,
+)
+
+
+def test_image_dataset_shapes_and_determinism():
+    ds = SyntheticImageDataset(num_classes=4, channels=3, image_size=16, seed=1)
+    a = ds.sample(batch_size=5, index=2)
+    b = ds.sample(batch_size=5, index=2)
+    c = ds.sample(batch_size=5, index=3)
+    assert a["images"].shape == (5, 3, 16, 16)
+    assert a["images"].dtype == np.float32
+    assert np.array_equal(a["images"], b["images"])
+    assert not np.array_equal(a["images"], c["images"])
+    batches = list(ds.batches(num_batches=3, batch_size=2))
+    assert len(batches) == 3
+
+
+def test_token_dataset_vocab_bounds_and_zipf_shape():
+    ds = SyntheticTokenDataset(vocab_size=100, seq_len=24, seed=5)
+    sample = ds.sample(batch_size=8, index=0)
+    tokens = sample["token_ids"]
+    assert tokens.shape == (8, 24)
+    assert tokens.dtype == np.int64
+    assert tokens.min() >= 0 and tokens.max() < 100
+    # Zipf-ish: low token ids dominate.
+    assert (tokens < 10).mean() > 0.5
+    assert len(list(ds.batches(2, 4))) == 2
+
+
+def test_calibration_and_serving_requests_are_disjoint_streams():
+    spec = get_model_spec("bert_mini")
+    module = spec.build_module()
+    calib = calibration_dataset("bert_mini", module, num_samples=3, seed=0, batch_size=1)
+    serve = serving_requests("bert_mini", module, num_requests=3, seed=0, batch_size=1)
+    assert len(calib) == 3 and len(serve) == 3
+    assert calib[0]["token_ids"].shape == serve[0]["token_ids"].shape
+    assert not np.array_equal(calib[0]["token_ids"], serve[0]["token_ids"])
+
+
+def test_calibration_dataset_reproducible():
+    spec = get_model_spec("resnet_mini")
+    module = spec.build_module()
+    a = calibration_dataset("resnet_mini", module, num_samples=2, seed=3)
+    b = calibration_dataset("resnet_mini", module, num_samples=2, seed=3)
+    for sample_a, sample_b in zip(a, b):
+        assert np.array_equal(sample_a["images"], sample_b["images"])
