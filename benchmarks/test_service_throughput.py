@@ -1,0 +1,165 @@
+"""Service throughput: batched multi-request serving vs. the seed loop.
+
+The seed entry point serves exactly one request per ``TAOSession.run_request``
+call: the proposer executes and commits, a challenger re-executes, and the
+task finalizes — twice the model's forward cost plus per-request hashing and
+bookkeeping, repeated from scratch for every request.
+
+:class:`~repro.protocol.service.TAOService` amortizes that across a stream:
+per-model session/commitment reuse, a content-addressed result cache that
+recognizes repeated payloads by their input hash, and engine-level batched
+execution (stacking independent requests along the leading axis where that
+is empirically certified bit-identical for the graph/device).
+
+Scenarios, each a 16-request stream against one model, measured at steady
+state (one warmup cycle absorbs plan compilation and batch certification):
+
+* **repeated stream** (acceptance gate, >= 2x): 4 distinct payloads x 4 on
+  MiniBERT — the cache serves every repeat without re-execution;
+* **distinct stream, batchable**: 16 unique payloads on an MLP serving head
+  whose stacked execution certifies — proposer + challenger runs are each
+  one stacked pass instead of 16;
+* **distinct stream, unbatchable** (reported, no gate): 16 unique payloads
+  on MiniResNet, whose final classifier ``linear`` is not row-bitstable
+  under stacking on BLAS, so the probe rejects stacking and the service
+  falls back to sequential engine runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.calibration import CalibrationConfig, Calibrator, ThresholdTable
+from repro.graph import Module, Parameter, trace_module
+from repro.graph import functional as F
+from repro.protocol import TAOService, TAOSession
+from repro.tensorlib import DEVICE_FLEET
+
+from benchmarks.reporting import emit_table
+
+NUM_REQUESTS = 16
+DISTINCT_PAYLOADS = 4
+
+
+class ServingHead(Module):
+    """A small MLP classifier head — the shape of a typical serving workload."""
+
+    def __init__(self, d_in: int = 32, d_hidden: int = 48, d_out: int = 6,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.ln_w = Parameter(np.ones(d_in))
+        self.ln_b = Parameter(np.zeros(d_in))
+        self.w1 = Parameter(rng.standard_normal((d_hidden, d_in)) * 0.1)
+        self.b1 = Parameter(np.zeros(d_hidden))
+        self.w2 = Parameter(rng.standard_normal((d_hidden, d_hidden)) * 0.1)
+        self.b2 = Parameter(np.zeros(d_hidden))
+        self.w3 = Parameter(rng.standard_normal((d_out, d_hidden)) * 0.1)
+        self.b3 = Parameter(np.zeros(d_out))
+
+    def forward(self, x):
+        x = F.layer_norm(x, self.ln_w, self.ln_b)
+        h = F.gelu(F.linear(x, self.w1, self.b1))
+        h = F.relu(F.linear(h, self.w2, self.b2))
+        return F.softmax(F.linear(h, self.w3, self.b3), axis=-1)
+
+
+def _head_inputs(seed: int, batch: int = 4, d_in: int = 32) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal((batch, d_in)).astype(np.float32)}
+
+
+def _serving_head_workload():
+    module = ServingHead()
+    graph = trace_module(module, _head_inputs(0), name="mlp_head")
+    calibrator = Calibrator(CalibrationConfig(devices=DEVICE_FLEET))
+    calibration = calibrator.calibrate(graph, [_head_inputs(1000 + i) for i in range(12)])
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=6.0)
+    return graph, thresholds, _head_inputs
+
+
+def _measure(name: str, graph, thresholds, sampler, distinct: int) -> Dict[str, object]:
+    """Seed-loop vs. service timing for one 16-request stream."""
+    stream: List[Dict] = [sampler(seed=900 + index % distinct)
+                          for index in range(NUM_REQUESTS)]
+    warmup = [sampler(seed=1), sampler(seed=2)]
+
+    session = TAOSession(graph, threshold_table=thresholds)
+    session.setup(owner=f"{name}-seed-owner")
+    proposer = session.make_honest_proposer(f"{name}-seed-proposer")
+    for inputs in warmup:
+        session.run_request(inputs, proposer)
+    start = time.perf_counter()
+    for inputs in stream:
+        report = session.run_request(inputs, proposer)
+        assert report.final_status == "finalized"
+    seed_s = time.perf_counter() - start
+
+    service = TAOService()
+    service.register_model(graph, threshold_table=thresholds)
+    service.submit_many(name, warmup)
+    service.process()  # absorbs plan compilation + batch certification
+    start = time.perf_counter()
+    service.submit_many(name, stream)
+    processed = service.process()
+    service_s = time.perf_counter() - start
+    for request in processed:
+        assert request.status == "finalized"
+
+    stats = service.stats()
+    return {
+        "seed_s": seed_s,
+        "service_s": service_s,
+        "speedup": seed_s / service_s if service_s > 0 else float("inf"),
+        "cache_hits": stats.cache_hits,
+        "batched": stats.batched_requests,
+    }
+
+
+def test_service_throughput(benchmark, bench_bert, bench_resnet):
+    def run():
+        head_graph, head_thresholds, head_sampler = _serving_head_workload()
+        return {
+            "repeated x4 (bert_mini)": _measure(
+                "bert_mini", bench_bert.graph, bench_bert.thresholds,
+                lambda seed: bench_bert.inputs(seed=seed), DISTINCT_PAYLOADS),
+            "distinct, stacked (mlp_head)": _measure(
+                "mlp_head", head_graph, head_thresholds, head_sampler, NUM_REQUESTS),
+            "distinct, fallback (resnet_mini)": _measure(
+                "resnet_mini", bench_resnet.graph, bench_resnet.thresholds,
+                lambda seed: bench_resnet.inputs(seed=seed), NUM_REQUESTS),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit_table(
+        "service_throughput",
+        "TAOService vs. looping seed TAOSession.run_request "
+        f"({NUM_REQUESTS}-request streams, steady state)",
+        ["scenario", "seed loop (s)", "service (s)", "speedup",
+         "seed rps", "service rps", "cache hits", "batched"],
+        [[label, r["seed_s"], r["service_s"], r["speedup"],
+          NUM_REQUESTS / r["seed_s"], NUM_REQUESTS / r["service_s"],
+          r["cache_hits"], r["batched"]]
+         for label, r in results.items()],
+        notes=("Repeated stream: the content-addressed result cache serves each "
+               "repeat after one execution per distinct payload.  Distinct/stacked: "
+               "proposer and challenger each execute one stacked pass over the "
+               "whole stream (certified bit-identical before use).  "
+               "Distinct/fallback: the certification probe rejects stacking "
+               "(BLAS matmul is not row-bitstable across batch size for the "
+               "classifier linear), so the service runs sequentially over the "
+               "cached plan — the fallback must not regress materially."),
+    )
+
+    # Acceptance gate: >= 2x on a stream of repeated requests to one model.
+    assert results["repeated x4 (bert_mini)"]["speedup"] >= 2.0
+    # The certified stacked path must show a real batching win when available,
+    # and a fallback must stay in the same ballpark as the seed loop.  (Batch
+    # certification is BLAS-dependent, so the stacked scenario asserts only
+    # the fallback floor too — its speedup is reported above.)
+    assert results["distinct, stacked (mlp_head)"]["speedup"] >= 0.7
+    assert results["distinct, fallback (resnet_mini)"]["speedup"] >= 0.7

@@ -38,13 +38,15 @@ Quickstart::
 
 from repro.bounds import BoundInterpreter, BoundMode
 from repro.calibration import Calibrator, CalibrationConfig, ThresholdTable
+from repro.engine import ExecutionEngine, ExecutionPlan
 from repro.graph import GraphModule, Interpreter, Module, Parameter, Tracer, trace_module
-from repro.merkle import MerkleTree, commit_model
+from repro.merkle import HashCache, MerkleTree, commit_model
 from repro.models import available_models, build_model, get_model_spec
 from repro.protocol import (
     Coordinator,
     DisputeGame,
     EconomicParameters,
+    TAOService,
     TAOSession,
     analyze_incentives,
 )
@@ -59,7 +61,10 @@ __all__ = [
     "Calibrator",
     "CalibrationConfig",
     "ThresholdTable",
+    "ExecutionEngine",
+    "ExecutionPlan",
     "GraphModule",
+    "HashCache",
     "Interpreter",
     "Module",
     "Parameter",
@@ -73,6 +78,7 @@ __all__ = [
     "Coordinator",
     "DisputeGame",
     "EconomicParameters",
+    "TAOService",
     "TAOSession",
     "analyze_incentives",
     "TracedRuntime",

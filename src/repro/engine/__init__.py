@@ -1,0 +1,28 @@
+"""Pluggable execution engine (plan compilation + batched execution).
+
+The engine layer separates *what* a committed model computes (the traced
+graph) from *how* it is executed on a device.  :mod:`repro.engine.plan`
+compiles a :class:`~repro.graph.graph.GraphModule` into a reusable
+:class:`ExecutionPlan` (topological schedule, resolved operator callables,
+output liveness, input-dependence sets); :mod:`repro.engine.engine` executes
+plans on a :class:`~repro.tensorlib.device.DeviceProfile`, one request at a
+time or batched over the leading axis with empirical bit-exactness
+certification.
+
+:class:`~repro.graph.interpreter.Interpreter` delegates to this layer, so
+every protocol role (proposer, challenger, committee), calibration and the
+attack machinery share one execution semantics, and
+:class:`~repro.protocol.service.TAOService` builds its multi-request
+throughput path on :meth:`ExecutionEngine.run_batch`.
+"""
+
+from repro.engine.plan import ExecutionPlan, PlanStep, compile_plan, plan_for
+from repro.engine.engine import ExecutionEngine
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanStep",
+    "compile_plan",
+    "plan_for",
+    "ExecutionEngine",
+]

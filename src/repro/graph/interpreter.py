@@ -10,7 +10,11 @@ The interpreter is used in three places that the paper distinguishes:
 * the **committee** re-executes a single operator at the leaf.
 
 All three paths go through :meth:`Interpreter.run`, so there is exactly one
-execution semantics in the system.
+execution semantics in the system.  :meth:`Interpreter.run` dispatches over a
+precompiled, cached :class:`~repro.engine.plan.ExecutionPlan` via
+:class:`~repro.engine.engine.ExecutionEngine`; the original node-by-node
+reference loop is retained as :meth:`Interpreter.run_reference` and the two
+are pinned bit-identical by ``tests/test_engine_parity.py``.
 """
 
 from __future__ import annotations
@@ -70,10 +74,14 @@ class ExecutionTrace:
 
 
 class Interpreter:
-    """Executes GraphModules node-by-node on a :class:`DeviceProfile`."""
+    """Executes GraphModules on a :class:`DeviceProfile` via the engine layer."""
 
     def __init__(self, device: DeviceProfile) -> None:
         self.device = device
+        # Deferred import: the engine builds ExecutionTrace objects, so it
+        # imports this module; resolving it lazily breaks the cycle.
+        from repro.engine.engine import ExecutionEngine
+        self.engine = ExecutionEngine(device)
 
     def run(
         self,
@@ -85,6 +93,9 @@ class Interpreter:
         delta_overrides: Optional[Dict[str, np.ndarray]] = None,
     ) -> ExecutionTrace:
         """Execute ``graph_module`` on ``inputs``.
+
+        Dispatches over the cached execution plan; semantics are identical
+        to :meth:`run_reference` (enforced by the engine parity tests).
 
         Parameters
         ----------
@@ -108,6 +119,26 @@ class Interpreter:
             run* (so the effects of upstream perturbations compound through
             the graph).  This is the forward used by the PGD attack, which
             optimizes the deltas jointly across operators.
+        """
+        return self.engine.run(
+            graph_module, inputs, record=record, count_flops=count_flops,
+            overrides=overrides, delta_overrides=delta_overrides,
+        )
+
+    def run_reference(
+        self,
+        graph_module: GraphModule,
+        inputs: Dict[str, np.ndarray],
+        record: bool = False,
+        count_flops: bool = False,
+        overrides: Optional[Dict[str, np.ndarray]] = None,
+        delta_overrides: Optional[Dict[str, np.ndarray]] = None,
+    ) -> ExecutionTrace:
+        """The original node-by-node execution loop (reference semantics).
+
+        Kept as the specification the plan-based engine must match bit for
+        bit; the parity tests execute every zoo model through both paths and
+        compare outputs, traces and commitment hashes.
         """
         graph = graph_module.graph
         missing = [n for n in graph_module.input_names if n not in inputs]

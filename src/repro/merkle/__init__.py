@@ -9,6 +9,7 @@ leaf against the recorded roots.
 """
 
 from repro.merkle.tree import MerkleProof, MerkleTree, verify_proof
+from repro.merkle.cache import HashCache, streaming_tensor_hash
 from repro.merkle.commitments import (
     ExecutionCommitment,
     ModelCommitment,
@@ -17,6 +18,7 @@ from repro.merkle.commitments import (
     commit_model,
     commit_thresholds,
     commit_weights,
+    execution_input_hash,
     hash_tensor,
     interface_hash,
     make_execution_commitment,
@@ -28,6 +30,8 @@ __all__ = [
     "MerkleProof",
     "MerkleTree",
     "verify_proof",
+    "HashCache",
+    "streaming_tensor_hash",
     "ExecutionCommitment",
     "ModelCommitment",
     "SubgraphRecord",
@@ -35,6 +39,7 @@ __all__ = [
     "commit_model",
     "commit_thresholds",
     "commit_weights",
+    "execution_input_hash",
     "hash_tensor",
     "interface_hash",
     "make_execution_commitment",

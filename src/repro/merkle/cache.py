@@ -1,0 +1,122 @@
+"""Content-addressed hash and commitment caching (service hot path).
+
+Phase 0/1 of the protocol hash the same bytes over and over when a model
+serves a stream of requests: every weight tensor is re-canonicalized per
+``commit_model`` call, dispute records hash the same boundary tensors on the
+proposer side (building ``h_In``/``h_Out``) and again on the challenger side
+(verifying them), and identical request payloads are re-hashed per
+submission.  :class:`HashCache` memoizes those digests:
+
+* **tensor hashes** — keyed by array identity with a strong reference held,
+  so a digest can never outlive (or be confused with) the array it was
+  computed from.  Commitment inputs are treated as immutable once hashed,
+  which every call site in this repository honours (weights are frozen at
+  registration, trace values are never written in place).
+* **model commitments** — ``commit_model`` results keyed by the identity of
+  (graph module, threshold table, metadata), so re-registering the same
+  committed model (e.g. one service session per tenant) reuses the Merkle
+  trees instead of re-merkleizing every weight.
+
+Uncached tensor hashing additionally streams the canonical serialization
+(:func:`~repro.utils.serialization.canonical_array_chunks`) straight into
+SHA-256 instead of materializing the full canonical byte string — execution
+commitments over large activations hash with zero extra copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.serialization import canonical_array_chunks, canonical_json
+
+
+def streaming_tensor_hash(value: np.ndarray) -> bytes:
+    """``H(canon(z))`` computed incrementally (no canonical-bytes copy)."""
+    hasher = hashlib.sha256()
+    for chunk in canonical_array_chunks(np.asarray(value)):
+        hasher.update(chunk)
+    return hasher.digest()
+
+
+class HashCache:
+    """Bounded memo of tensor digests and model commitments.
+
+    The tensor memo is identity-keyed: an entry pins the array object it was
+    computed from, and a lookup only hits when the candidate *is* that
+    object, so recycled ``id()`` values can never alias.  The memo is an LRU
+    bounded by ``max_tensors`` entries to keep long-lived services from
+    pinning every activation they ever hashed.
+    """
+
+    def __init__(self, max_tensors: int = 8192) -> None:
+        self.max_tensors = int(max_tensors)
+        self._tensors: "OrderedDict[int, Tuple[np.ndarray, bytes]]" = OrderedDict()
+        self._model_commitments: Dict[Tuple[int, int, str], Tuple[Any, Any, Any]] = {}
+        self.tensor_hits = 0
+        self.tensor_misses = 0
+
+    # ------------------------------------------------------------------
+    # Tensor digests
+    # ------------------------------------------------------------------
+
+    def hash_tensor(self, value: np.ndarray) -> bytes:
+        arr = np.asarray(value)
+        key = id(arr)
+        entry = self._tensors.get(key)
+        if entry is not None and entry[0] is arr:
+            self.tensor_hits += 1
+            self._tensors.move_to_end(key)
+            return entry[1]
+        self.tensor_misses += 1
+        digest = streaming_tensor_hash(arr)
+        self._tensors[key] = (arr, digest)
+        self._tensors.move_to_end(key)
+        while len(self._tensors) > self.max_tensors:
+            self._tensors.popitem(last=False)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Model commitments
+    # ------------------------------------------------------------------
+
+    def model_commitment(self, graph_module, threshold_table,
+                         metadata: Optional[Dict[str, object]]):
+        """Return the memoized ``commit_model`` result for this identity triple.
+
+        Returns ``None`` on a miss; callers build the commitment and store it
+        via :meth:`store_model_commitment`.
+        """
+        key = self._model_key(graph_module, threshold_table, metadata)
+        entry = self._model_commitments.get(key)
+        if entry is None:
+            return None
+        held_graph, held_table, commitment = entry
+        if held_graph is graph_module and held_table is threshold_table:
+            return commitment
+        return None
+
+    def store_model_commitment(self, graph_module, threshold_table,
+                               metadata: Optional[Dict[str, object]], commitment) -> None:
+        key = self._model_key(graph_module, threshold_table, metadata)
+        self._model_commitments[key] = (graph_module, threshold_table, commitment)
+
+    @staticmethod
+    def _model_key(graph_module, threshold_table,
+                   metadata: Optional[Dict[str, object]]) -> Tuple[int, int, str]:
+        return (id(graph_module), id(threshold_table), canonical_json(metadata or {}))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "tensor_entries": len(self._tensors),
+            "tensor_hits": self.tensor_hits,
+            "tensor_misses": self.tensor_misses,
+            "model_commitments": len(self._model_commitments),
+        }

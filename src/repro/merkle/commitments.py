@@ -20,19 +20,40 @@ import numpy as np
 
 from repro.graph.graph import GraphModule
 from repro.graph.subgraph import SubgraphSlice, live_in, live_out
+from repro.merkle.cache import HashCache, streaming_tensor_hash
 from repro.merkle.tree import MerkleProof, MerkleTree, verify_proof
 from repro.utils.hashing import hash_concat, sha256_bytes
 from repro.utils.serialization import canonical_bytes, canonical_json
 
 
-def hash_tensor(value: np.ndarray) -> bytes:
-    """``H(canon(z))`` — the canonical hash of one tensor."""
-    return sha256_bytes(canonical_bytes(np.asarray(value)))
+def hash_tensor(value: np.ndarray, cache: Optional[HashCache] = None) -> bytes:
+    """``H(canon(z))`` — the canonical hash of one tensor.
+
+    The digest is computed by streaming the canonical serialization into
+    SHA-256 (no intermediate canonical-bytes copy); passing a
+    :class:`~repro.merkle.cache.HashCache` additionally memoizes repeated
+    hashes of the same tensor object.
+    """
+    if cache is not None:
+        return cache.hash_tensor(value)
+    return streaming_tensor_hash(np.asarray(value))
 
 
-def interface_hash(values: Sequence[np.ndarray]) -> bytes:
+def interface_hash(values: Sequence[np.ndarray],
+                   cache: Optional[HashCache] = None) -> bytes:
     """``h_D = H(concat_z H(canon(z)))`` over an ordered interface tensor list."""
-    return hash_concat([hash_tensor(v) for v in values])
+    return hash_concat([hash_tensor(v, cache) for v in values])
+
+
+def execution_input_hash(inputs: Mapping[str, np.ndarray],
+                         cache: Optional[HashCache] = None) -> bytes:
+    """``H(x)`` of an execution commitment: tensor hashes in sorted name order.
+
+    The canonical identity of a request payload — used both inside ``C0``
+    and as the service's content-addressed result-cache key, so the two can
+    never diverge.
+    """
+    return hash_concat([hash_tensor(inputs[name], cache) for name in sorted(inputs)])
 
 
 # ---------------------------------------------------------------------------
@@ -103,12 +124,23 @@ class ModelCommitment:
 
 
 def commit_model(graph_module: GraphModule, threshold_table,
-                 metadata: Optional[Dict[str, object]] = None) -> ModelCommitment:
-    """Produce the full Phase 0 model commitment for ``graph_module``."""
+                 metadata: Optional[Dict[str, object]] = None,
+                 cache: Optional[HashCache] = None) -> ModelCommitment:
+    """Produce the full Phase 0 model commitment for ``graph_module``.
+
+    With a :class:`~repro.merkle.cache.HashCache`, re-committing the same
+    (graph module, threshold table, metadata) triple returns the memoized
+    commitment instead of re-merkleizing every weight and node signature —
+    the multi-tenant service path commits each model exactly once.
+    """
+    if cache is not None:
+        cached = cache.model_commitment(graph_module, threshold_table, metadata)
+        if cached is not None:
+            return cached
     weight_tree, weight_index = commit_weights(graph_module.parameters)
     graph_tree, graph_index = commit_graph(graph_module)
     threshold_tree, threshold_index = commit_thresholds(threshold_table)
-    return ModelCommitment(
+    commitment = ModelCommitment(
         model_name=graph_module.name,
         weight_root=weight_tree.root,
         graph_root=graph_tree.root,
@@ -122,6 +154,9 @@ def commit_model(graph_module: GraphModule, threshold_table,
         threshold_tree=threshold_tree,
         threshold_index=threshold_index,
     )
+    if cache is not None:
+        cache.store_model_commitment(graph_module, threshold_table, metadata, commitment)
+    return commitment
 
 
 # ---------------------------------------------------------------------------
@@ -146,12 +181,11 @@ def make_execution_commitment(
     inputs: Mapping[str, np.ndarray],
     outputs: Sequence[np.ndarray],
     meta: Optional[Dict[str, object]] = None,
+    cache: Optional[HashCache] = None,
 ) -> ExecutionCommitment:
     meta = dict(meta or {})
-    input_hash = hash_concat([
-        hash_tensor(inputs[name]) for name in sorted(inputs)
-    ])
-    output_hash = interface_hash(list(outputs))
+    input_hash = execution_input_hash(inputs, cache)
+    output_hash = interface_hash(list(outputs), cache)
     value = hash_concat([
         model_commitment.weight_root,
         model_commitment.graph_root,
@@ -211,6 +245,7 @@ def make_subgraph_record(
     model_commitment: ModelCommitment,
     slice_: SubgraphSlice,
     trace_values: Mapping[str, np.ndarray],
+    cache: Optional[HashCache] = None,
 ) -> SubgraphRecord:
     """Build the proposer's dispute message for one child slice.
 
@@ -249,8 +284,8 @@ def make_subgraph_record(
         slice_end=slice_.end,
         live_in_names=in_names,
         live_out_names=out_names,
-        h_in=interface_hash([in_values[name] for name in in_names]),
-        h_out=interface_hash([out_values[name] for name in out_names]),
+        h_in=interface_hash([in_values[name] for name in in_names], cache),
+        h_out=interface_hash([out_values[name] for name in out_names], cache),
         operator_proofs=operator_proofs,
         weight_proofs=weight_proofs,
         live_in_values=in_values,
@@ -261,6 +296,7 @@ def make_subgraph_record(
 def verify_subgraph_record(
     record: SubgraphRecord,
     model_commitment: ModelCommitment,
+    cache: Optional[HashCache] = None,
 ) -> Tuple[bool, int]:
     """Challenger/coordinator-side verification of a subgraph record.
 
@@ -279,8 +315,8 @@ def verify_subgraph_record(
         checks += 1
         if not verify_proof(leaf, proof, model_commitment.weight_root):
             return False, checks
-    in_hash = interface_hash([record.live_in_values[name] for name in record.live_in_names])
-    out_hash = interface_hash([record.live_out_values[name] for name in record.live_out_names])
+    in_hash = interface_hash([record.live_in_values[name] for name in record.live_in_names], cache)
+    out_hash = interface_hash([record.live_out_values[name] for name in record.live_out_names], cache)
     if in_hash != record.h_in or out_hash != record.h_out:
         return False, checks
     return True, checks

@@ -51,6 +51,7 @@ from repro.protocol.multistep import (
 )
 from repro.protocol.zk_baseline import ZkProverModel, ZkCostEstimate, compare_with_tao
 from repro.protocol.lifecycle import TAOSession, SessionReport
+from repro.protocol.service import ServiceRequest, ServiceStats, TAOService
 
 __all__ = [
     "GasSchedule",
@@ -93,4 +94,7 @@ __all__ = [
     "compare_with_tao",
     "TAOSession",
     "SessionReport",
+    "ServiceRequest",
+    "ServiceStats",
+    "TAOService",
 ]

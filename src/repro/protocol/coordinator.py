@@ -365,10 +365,26 @@ class Coordinator:
     # Accounting helpers
     # ------------------------------------------------------------------
 
-    def dispute_gas(self, dispute_id: int) -> int:
+    def _dispute_transactions(self, dispute_id: int):
+        """Transactions belonging to ``dispute_id`` since the dispute opened.
+
+        Every dispute action records its ``dispute_id`` in the transaction
+        details, so per-dispute accounting stays exact even when a service
+        multiplexes several dispute games over the same chain (for a single
+        sequential dispute this matches counting everything since
+        ``gas_start_index``, which is how the seed accounted it).
+        """
         dispute = self.dispute(dispute_id)
-        return self.chain.total_gas(since_index=dispute.gas_start_index)
+        return [
+            tx for tx in self.chain.transactions[dispute.gas_start_index:]
+            if tx.details.get("dispute_id") == dispute_id
+        ]
+
+    def dispute_gas(self, dispute_id: int) -> int:
+        return int(sum(tx.gas_used for tx in self._dispute_transactions(dispute_id)))
 
     def dispute_gas_by_action(self, dispute_id: int) -> Dict[str, int]:
-        dispute = self.dispute(dispute_id)
-        return self.chain.gas_by_action(since_index=dispute.gas_start_index)
+        out: Dict[str, int] = {}
+        for tx in self._dispute_transactions(dispute_id):
+            out[tx.action] = out.get(tx.action, 0) + tx.gas_used
+        return out

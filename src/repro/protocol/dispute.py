@@ -89,6 +89,28 @@ class DisputeOutcome:
     resolved_by_timeout: bool = False
 
 
+@dataclass
+class ActiveDispute:
+    """In-flight state of one dispute game (one per multiplexed dispute).
+
+    A service keeps several of these open against the same coordinator and
+    advances them round-robin via :meth:`DisputeGame.step_round`; each holds
+    exactly the loop state the seed's monolithic ``run`` loop carried.
+    """
+
+    task: TaskRecord
+    proposer: Proposer
+    challenger: Challenger
+    result: ProposedResult
+    dispute: object  # coordinator DisputeRecord
+    per_round: List[RoundStatistics] = field(default_factory=list)
+    resolved_by_timeout: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.dispute.at_leaf or self.dispute.phase.value == "resolved"
+
+
 class DisputeGame:
     """Drives one dispute between a proposer and a challenger via the coordinator."""
 
@@ -128,54 +150,84 @@ class DisputeGame:
         result: ProposedResult,
     ) -> DisputeOutcome:
         """Play the dispute game for ``task`` until resolution."""
+        active = self.open(task, proposer, challenger, result)
+        while self.step_round(active):
+            pass
+        return self.conclude(active)
+
+    def open(
+        self,
+        task: TaskRecord,
+        proposer: Proposer,
+        challenger: Challenger,
+        result: ProposedResult,
+    ) -> ActiveDispute:
+        """Open the dispute on chain; rounds are then driven by :meth:`step_round`."""
         challenger.reset_accounting()
         dispute = self.coordinator.open_dispute(task.task_id, challenger.name)
-        per_round: List[RoundStatistics] = []
-        resolved_by_timeout = False
+        return ActiveDispute(task=task, proposer=proposer, challenger=challenger,
+                             result=result, dispute=dispute)
 
-        while not dispute.at_leaf and dispute.phase.value != "resolved":
-            slice_ = SubgraphSlice(dispute.current_start, dispute.current_end)
-            partition_before = proposer.stopwatch.total("proposer_partition")
-            records = proposer.partition(
-                self.graph_module, self.model_commitment, result, slice_, self.n_way
-            )
-            partition_time = proposer.stopwatch.total("proposer_partition") - partition_before
+    def step_round(self, active: ActiveDispute) -> bool:
+        """Play one partition/selection round; returns True while rounds remain.
 
-            entries = [
-                PartitionEntry(r.slice_start, r.slice_end, r.h_in, r.h_out) for r in records
-            ]
-            onchain_bytes = 16 + 80 * len(entries)
-            self.coordinator.post_partition(dispute.dispute_id, proposer.name, entries,
-                                            payload_bytes=onchain_bytes)
+        Disputes over a shared coordinator are independent between rounds, so
+        a service can interleave ``step_round`` calls across many active
+        disputes (multiplexed dispute games) and reach the same outcome as
+        running each game to completion back to back.
+        """
+        dispute = active.dispute
+        if active.finished:
+            return False
+        proposer, challenger, result = active.proposer, active.challenger, active.result
 
-            selection_before = challenger.stopwatch.total("challenger_selection")
-            outcome = challenger.select_offending(
-                self.graph_module, self.model_commitment, records
-            )
-            selection_time = challenger.stopwatch.total("challenger_selection") - selection_before
+        slice_ = SubgraphSlice(dispute.current_start, dispute.current_end)
+        partition_before = proposer.stopwatch.total("proposer_partition")
+        records = proposer.partition(
+            self.graph_module, self.model_commitment, result, slice_, self.n_way
+        )
+        partition_time = proposer.stopwatch.total("proposer_partition") - partition_before
 
-            per_round.append(RoundStatistics(
-                round_index=dispute.round_index,
-                slice_start=slice_.start,
-                slice_end=slice_.end,
-                num_children=len(records),
-                selected_child=outcome.selected_index,
-                partition_time_s=partition_time,
-                selection_time_s=selection_time,
-                merkle_checks=outcome.merkle_checks,
-                challenger_flops=outcome.flops,
-            ))
+        entries = [
+            PartitionEntry(r.slice_start, r.slice_end, r.h_in, r.h_out) for r in records
+        ]
+        onchain_bytes = 16 + 80 * len(entries)
+        self.coordinator.post_partition(dispute.dispute_id, proposer.name, entries,
+                                        payload_bytes=onchain_bytes)
 
-            if outcome.selected_index is None:
-                # No child exceeds the thresholds: the challenger cannot make
-                # progress and (per protocol) loses the round by timing out.
-                self.coordinator.chain.advance_time(self.coordinator.round_timeout_s + 1.0)
-                self.coordinator.enforce_timeout(dispute.dispute_id, challenger.name)
-                resolved_by_timeout = True
-                break
-            self.coordinator.post_selection(dispute.dispute_id, challenger.name,
-                                            outcome.selected_index)
+        selection_before = challenger.stopwatch.total("challenger_selection")
+        outcome = challenger.select_offending(
+            self.graph_module, self.model_commitment, records
+        )
+        selection_time = challenger.stopwatch.total("challenger_selection") - selection_before
 
+        active.per_round.append(RoundStatistics(
+            round_index=dispute.round_index,
+            slice_start=slice_.start,
+            slice_end=slice_.end,
+            num_children=len(records),
+            selected_child=outcome.selected_index,
+            partition_time_s=partition_time,
+            selection_time_s=selection_time,
+            merkle_checks=outcome.merkle_checks,
+            challenger_flops=outcome.flops,
+        ))
+
+        if outcome.selected_index is None:
+            # No child exceeds the thresholds: the challenger cannot make
+            # progress and (per protocol) loses the round by timing out.
+            self.coordinator.chain.advance_time(self.coordinator.round_timeout_s + 1.0)
+            self.coordinator.enforce_timeout(dispute.dispute_id, active.challenger.name)
+            active.resolved_by_timeout = True
+            return False
+        self.coordinator.post_selection(dispute.dispute_id, active.challenger.name,
+                                        outcome.selected_index)
+        return not active.finished
+
+    def conclude(self, active: ActiveDispute) -> DisputeOutcome:
+        """Adjudicate the localized leaf (if reached) and settle the outcome."""
+        dispute = active.dispute
+        task, challenger, result = active.task, active.challenger, active.result
         adjudication: Optional[AdjudicationResult] = None
         localized_operator: Optional[str] = None
         adjudication_flops = 0.0
@@ -192,6 +244,7 @@ class DisputeGame:
                 details=dict(adjudication.details),
             )
 
+        per_round = active.per_round
         statistics = DisputeStatistics(
             rounds=len(per_round),
             dispute_time_s=sum(r.partition_time_s + r.selection_time_s for r in per_round),
@@ -203,7 +256,7 @@ class DisputeGame:
         )
         task_record = self.coordinator.task(task.task_id)
         proposer_cheated = task_record.status.value == "proposer_slashed"
-        winner = challenger.name if proposer_cheated else proposer.name
+        winner = challenger.name if proposer_cheated else active.proposer.name
         return DisputeOutcome(
             dispute_id=dispute.dispute_id,
             task_id=task.task_id,
@@ -212,7 +265,7 @@ class DisputeGame:
             localized_operator=localized_operator,
             adjudication=adjudication,
             statistics=statistics,
-            resolved_by_timeout=resolved_by_timeout,
+            resolved_by_timeout=active.resolved_by_timeout,
         )
 
     # ------------------------------------------------------------------

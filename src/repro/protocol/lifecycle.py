@@ -25,6 +25,7 @@ from repro.bounds.fp_model import BoundMode
 from repro.calibration.calibrator import CalibrationConfig, CalibrationResult, Calibrator
 from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
 from repro.graph.graph import GraphModule
+from repro.merkle.cache import HashCache
 from repro.merkle.commitments import ModelCommitment, commit_model
 from repro.protocol.coordinator import Coordinator, TaskRecord
 from repro.protocol.dispute import DisputeGame, DisputeOutcome
@@ -77,10 +78,12 @@ class TAOSession:
         bound_mode: BoundMode = BoundMode.PROBABILISTIC,
         leaf_path: str = "routed",
         initial_balance: float = 10_000.0,
+        hash_cache: Optional[HashCache] = None,
     ) -> None:
         self.graph_module = graph_module
         self.devices = tuple(devices)
         self.coordinator = coordinator or Coordinator()
+        self.hash_cache = hash_cache
         self.alpha = float(alpha)
         self.n_way = int(n_way)
         self.committee_size = int(committee_size)
@@ -117,6 +120,7 @@ class TAOSession:
         self.model_commitment = commit_model(
             self.graph_module, self.thresholds,
             metadata={"alpha": self.alpha, "num_operators": self.graph_module.num_operators},
+            cache=self.hash_cache,
         )
         self.coordinator.chain.fund(owner, self.initial_balance)
         self.coordinator.register_model(self.model_commitment, owner=owner)
@@ -143,18 +147,39 @@ class TAOSession:
     def make_honest_proposer(self, name: str = "proposer",
                              device: Optional[DeviceProfile] = None) -> HonestProposer:
         self.coordinator.chain.fund(name, self.initial_balance)
-        return HonestProposer(name, device or self.devices[0])
+        return HonestProposer(name, device or self.devices[0], hash_cache=self.hash_cache)
 
     def make_adversarial_proposer(self, name: str, perturbations,
                                   device: Optional[DeviceProfile] = None) -> AdversarialProposer:
         self.coordinator.chain.fund(name, self.initial_balance)
-        return AdversarialProposer(name, device or self.devices[0], perturbations)
+        return AdversarialProposer(name, device or self.devices[0], perturbations,
+                                   hash_cache=self.hash_cache)
 
     def make_challenger(self, name: str = "challenger",
                         device: Optional[DeviceProfile] = None) -> Challenger:
         self.require_setup()
         self.coordinator.chain.fund(name, self.initial_balance)
-        return Challenger(name, device or self.devices[-1], self.thresholds)
+        return Challenger(name, device or self.devices[-1], self.thresholds,
+                          hash_cache=self.hash_cache)
+
+    def make_dispute_game(self) -> DisputeGame:
+        """A dispute game wired to this session's commitments and policies.
+
+        Used by :meth:`run_request` and by :class:`~repro.protocol.service.TAOService`,
+        which multiplexes several of these games round-robin over the shared
+        coordinator.
+        """
+        self.require_setup()
+        return DisputeGame(
+            coordinator=self.coordinator,
+            graph_module=self.graph_module,
+            model_commitment=self.model_commitment,
+            thresholds=self.thresholds,
+            committee=self.committee,
+            n_way=self.n_way,
+            bound_mode=self.bound_mode,
+            leaf_path=self.leaf_path,
+        )
 
     # ------------------------------------------------------------------
     # Phases 1-3
@@ -194,17 +219,7 @@ class TAOSession:
                 finalized_optimistically=True, verification_reports=reports,
             )
 
-        game = DisputeGame(
-            coordinator=self.coordinator,
-            graph_module=self.graph_module,
-            model_commitment=self.model_commitment,
-            thresholds=self.thresholds,
-            committee=self.committee,
-            n_way=self.n_way,
-            bound_mode=self.bound_mode,
-            leaf_path=self.leaf_path,
-        )
-        outcome = game.run(task, proposer, challenger, result)
+        outcome = self.make_dispute_game().run(task, proposer, challenger, result)
         return SessionReport(
             task=task, result=result, challenged=True,
             finalized_optimistically=False, verification_reports=reports,

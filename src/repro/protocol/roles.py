@@ -25,6 +25,7 @@ from repro.calibration.thresholds import ExceedanceReport, ThresholdTable
 from repro.graph.graph import GraphModule
 from repro.graph.interpreter import ExecutionTrace, Interpreter
 from repro.graph.subgraph import SubgraphSlice, extract_subgraph
+from repro.merkle.cache import HashCache
 from repro.merkle.commitments import (
     ExecutionCommitment,
     ModelCommitment,
@@ -68,13 +69,21 @@ class ProposedResult:
 
 
 class Proposer:
-    """Base proposer: executes the model and commits to the result."""
+    """Base proposer: executes the model and commits to the result.
 
-    def __init__(self, name: str, device: DeviceProfile) -> None:
+    ``hash_cache`` (optional) memoizes tensor digests across this proposer's
+    commitments and dispute records; sharing one cache between the parties a
+    service hosts halves the hashing work of a dispute (the challenger's
+    record verification re-hashes the very tensors the proposer committed).
+    """
+
+    def __init__(self, name: str, device: DeviceProfile,
+                 hash_cache: Optional[HashCache] = None) -> None:
         self.name = name
         self.device = device
         self.interpreter = Interpreter(device)
         self.stopwatch = Stopwatch()
+        self.hash_cache = hash_cache
 
     # -- execution -------------------------------------------------------
 
@@ -97,6 +106,7 @@ class Proposer:
                 "proposer": self.name,
                 "kernel_stack": self.device.signature(),
             },
+            cache=self.hash_cache,
         )
         return ProposedResult(
             model_name=graph_module.name,
@@ -125,7 +135,7 @@ class Proposer:
             children = slice_.split(n_way)
             records = [
                 make_subgraph_record(graph_module, model_commitment, child,
-                                     result.trace_values)
+                                     result.trace_values, cache=self.hash_cache)
                 for child in children
             ]
         return records
@@ -147,8 +157,9 @@ class AdversarialProposer(Proposer):
     """
 
     def __init__(self, name: str, device: DeviceProfile,
-                 perturbations: Optional[Dict[str, PerturbationSpec]] = None) -> None:
-        super().__init__(name, device)
+                 perturbations: Optional[Dict[str, PerturbationSpec]] = None,
+                 hash_cache: Optional[HashCache] = None) -> None:
+        super().__init__(name, device, hash_cache=hash_cache)
         self.perturbations: Dict[str, PerturbationSpec] = dict(perturbations or {})
 
     def set_perturbation(self, node_name: str, spec: PerturbationSpec) -> None:
@@ -192,12 +203,14 @@ class Challenger:
     """Re-executes results and drives dispute localization."""
 
     def __init__(self, name: str, device: DeviceProfile,
-                 threshold_table: ThresholdTable) -> None:
+                 threshold_table: ThresholdTable,
+                 hash_cache: Optional[HashCache] = None) -> None:
         self.name = name
         self.device = device
         self.thresholds = threshold_table
         self.interpreter = Interpreter(device)
         self.stopwatch = Stopwatch()
+        self.hash_cache = hash_cache
         self.dispute_flops = 0.0
         self.merkle_checks = 0
 
@@ -217,6 +230,16 @@ class Challenger:
         """
         trace = self.interpreter.run(graph_module, result.inputs, record=True,
                                      count_flops=True)
+        return self.verify_with_trace(result, trace)
+
+    def verify_with_trace(self, result: ProposedResult, trace: ExecutionTrace,
+                          ) -> Tuple[bool, List[ExceedanceReport]]:
+        """Threshold-check ``result`` against an already computed re-execution.
+
+        Split out of :meth:`verify_result` so a service can batch the
+        re-execution of many queued requests through the engine and feed the
+        per-request traces here; the checking semantics are shared.
+        """
         self.dispute_flops += trace.flops.total
         reports: List[ExceedanceReport] = []
         for name, proposed in zip(result.output_names, result.outputs):
@@ -249,7 +272,8 @@ class Challenger:
         all_valid = True
         with self.stopwatch.measure("challenger_selection"):
             for index, record in enumerate(records):
-                valid, checks = verify_subgraph_record(record, model_commitment)
+                valid, checks = verify_subgraph_record(record, model_commitment,
+                                                       cache=self.hash_cache)
                 merkle_checks += checks
                 if not valid:
                     # A malformed record is itself fraud: select it immediately.

@@ -1,0 +1,573 @@
+"""Batched multi-request verification service (the serving front end).
+
+:class:`TAOSession` serves exactly one request per call; this module adds the
+layer the ROADMAP's production goal needs on top of it: a **multi-tenant
+service** that keeps many requests in flight against one coordinator.
+
+Request life cycle inside :meth:`TAOService.process`:
+
+1. **Queue** — :meth:`TAOService.submit` enqueues (model, inputs) pairs;
+   tenants are models registered once via :meth:`TAOService.register_model`
+   (per-model session reuse: calibration, commitments and role objects are
+   built once, not per request).
+2. **Execute** — queued requests for the same model and the default honest
+   proposer are executed through
+   :meth:`~repro.engine.engine.ExecutionEngine.run_batch`, which stacks them
+   along the leading batch axis when the graph is certified batchable;
+   adversarial / custom proposers run their own (override-bearing) path.
+   A **content-addressed result cache** keyed by the execution commitment's
+   input hash short-circuits repeated requests: the proposer's committed
+   trace and the challenger's verdict for identical payloads are reused.
+3. **Submit + verify** — every request becomes its own coordinator task
+   (fees, bonds and challenge windows per request); the default challenger's
+   re-execution is batched the same way and threshold-checked per request.
+4. **Dispute** — flagged (or force-challenged) tasks open disputes while
+   every challenge window is still live, then the active dispute games are
+   **multiplexed**: advanced round-robin one partition/selection round at a
+   time over the shared chain, each with its own challenger clone so
+   per-dispute accounting stays exact.
+5. **Finalize** — time advances past the challenge window once and all
+   unchallenged tasks finalize; every processed request ends in a terminal
+   coordinator status.
+
+Throughput/latency statistics are collected per request and aggregated in
+:meth:`TAOService.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration.thresholds import ExceedanceReport
+from repro.graph.graph import GraphModule
+from repro.merkle.cache import HashCache
+from repro.merkle.commitments import execution_input_hash, make_execution_commitment
+from repro.protocol.coordinator import Coordinator
+from repro.protocol.dispute import ActiveDispute, DisputeGame
+from repro.protocol.lifecycle import SessionReport, TAOSession
+from repro.protocol.roles import Challenger, ProposedResult, Proposer
+from repro.tensorlib.device import DEVICE_FLEET, DeviceProfile
+
+
+@dataclass
+class CachedVerdict:
+    """Proposer trace + challenger verdict memoized for one input hash."""
+
+    result: ProposedResult
+    looks_honest: bool
+    reports: List[ExceedanceReport]
+
+
+@dataclass
+class ServiceRequest:
+    """One submitted request and everything that happened to it."""
+
+    request_id: int
+    model_name: str
+    inputs: Dict[str, np.ndarray]
+    proposer: Optional[Proposer] = None  # None -> the model's default honest proposer
+    force_challenge: bool = False
+    status: str = "queued"
+    report: Optional[SessionReport] = None
+    #: Execution error for rejected requests (malformed payloads never reach
+    #: the coordinator; the rest of the batch is unaffected).
+    error: Optional[str] = None
+    cache_hit: bool = False
+    batched: bool = False
+    submitted_s: float = 0.0
+    completed_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        return max(self.completed_s - self.submitted_s, 0.0)
+
+
+@dataclass
+class ModelEntry:
+    """Per-tenant state: the reused session and its standing role objects."""
+
+    name: str
+    session: TAOSession
+    proposer: Proposer
+    challenger: Challenger
+    user: object
+    #: Content-addressed verdict memo, LRU-bounded by TAOService.result_cache_size
+    #: (each entry pins a full recorded trace, so it must not grow unbounded).
+    result_cache: "OrderedDict[bytes, CachedVerdict]" = field(default_factory=OrderedDict)
+    challenger_clones: int = 0
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service accounting."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    cache_hits: int = 0
+    batched_requests: int = 0
+    disputes_opened: int = 0
+    dispute_rounds: int = 0
+    processing_time_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.processing_time_s <= 0:
+            return 0.0
+        return self.requests_completed / self.processing_time_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(sum(self.latencies_s) / len(self.latencies_s))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "cache_hits": self.cache_hits,
+            "batched_requests": self.batched_requests,
+            "disputes_opened": self.disputes_opened,
+            "dispute_rounds": self.dispute_rounds,
+            "processing_time_s": self.processing_time_s,
+            "throughput_rps": self.throughput_rps,
+            "mean_latency_s": self.mean_latency_s,
+            "status_counts": dict(self.status_counts),
+        }
+
+
+class TAOService:
+    """Multi-tenant, batching front end over the TAO protocol stack."""
+
+    def __init__(
+        self,
+        coordinator: Optional[Coordinator] = None,
+        devices: Sequence[DeviceProfile] = DEVICE_FLEET,
+        max_batch: int = 32,
+        enable_batching: bool = True,
+        enable_result_cache: bool = True,
+        result_cache_size: int = 256,
+        alpha: float = 3.0,
+        n_way: int = 2,
+        committee_size: int = 3,
+        leaf_path: str = "routed",
+    ) -> None:
+        self.coordinator = coordinator or Coordinator()
+        self.devices = tuple(devices)
+        self.max_batch = int(max_batch)
+        self.enable_batching = bool(enable_batching)
+        self.enable_result_cache = bool(enable_result_cache)
+        self.result_cache_size = int(result_cache_size)
+        self.alpha = float(alpha)
+        self.n_way = int(n_way)
+        self.committee_size = int(committee_size)
+        self.leaf_path = leaf_path
+        self.hash_cache = HashCache()
+
+        self._models: Dict[str, ModelEntry] = {}
+        self._queue: Deque[int] = deque()
+        self._requests: Dict[int, ServiceRequest] = {}
+        self.stats_record = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+
+    def register_model(
+        self,
+        graph_module: GraphModule,
+        calibration_inputs: Optional[Iterable[Dict[str, np.ndarray]]] = None,
+        threshold_table=None,
+        proposer_device: Optional[DeviceProfile] = None,
+        challenger_device: Optional[DeviceProfile] = None,
+        **session_kwargs,
+    ) -> TAOSession:
+        """Register one model: calibrate/commit once, build standing roles."""
+        name = graph_module.name
+        if name in self._models:
+            raise ValueError(f"model {name!r} is already registered with this service")
+        session = TAOSession(
+            graph_module,
+            calibration_inputs=calibration_inputs,
+            threshold_table=threshold_table,
+            devices=self.devices,
+            coordinator=self.coordinator,
+            alpha=self.alpha,
+            n_way=self.n_way,
+            committee_size=self.committee_size,
+            leaf_path=self.leaf_path,
+            hash_cache=self.hash_cache,
+            **session_kwargs,
+        )
+        session.setup(owner=f"{name}-owner")
+        entry = ModelEntry(
+            name=name,
+            session=session,
+            proposer=session.make_honest_proposer(f"{name}-proposer", proposer_device),
+            challenger=session.make_challenger(f"{name}-challenger", challenger_device),
+            user=session.make_user(f"{name}-user"),
+        )
+        self._models[name] = entry
+        return session
+
+    def model(self, name: str) -> ModelEntry:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(f"model {name!r} is not registered with this service") from None
+
+    @property
+    def model_names(self) -> List[str]:
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        model_name: str,
+        inputs: Mapping[str, np.ndarray],
+        proposer: Optional[Proposer] = None,
+        force_challenge: bool = False,
+    ) -> int:
+        """Enqueue one request; returns its request id."""
+        self.model(model_name)  # fail fast on unknown tenants
+        request = ServiceRequest(
+            request_id=len(self._requests),
+            model_name=model_name,
+            inputs=dict(inputs),
+            proposer=proposer,
+            force_challenge=force_challenge,
+            submitted_s=time.perf_counter(),
+        )
+        self._requests[request.request_id] = request
+        self._queue.append(request.request_id)
+        self.stats_record.requests_submitted += 1
+        return request.request_id
+
+    def submit_many(self, model_name: str,
+                    inputs_list: Iterable[Mapping[str, np.ndarray]]) -> List[int]:
+        return [self.submit(model_name, inputs) for inputs in inputs_list]
+
+    def request(self, request_id: int) -> ServiceRequest:
+        return self._requests[request_id]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def process(self, max_requests: Optional[int] = None) -> List[ServiceRequest]:
+        """Drain (up to ``max_requests`` of) the queue to terminal statuses.
+
+        The drain proceeds in bounded cycles: every coordinator transaction
+        advances chain time one block, and a cycle's disputes must open while
+        every task's challenge window is still live, so each cycle takes at
+        most :meth:`_cycle_capacity` requests through submit -> verify ->
+        dispute -> finalize before the next cycle starts.
+        """
+        remaining = max_requests
+        processed: List[ServiceRequest] = []
+        capacity = self._cycle_capacity()
+        while self._queue and (remaining is None or remaining > 0):
+            take = capacity if remaining is None else min(capacity, remaining)
+            batch: List[ServiceRequest] = []
+            while self._queue and len(batch) < take:
+                batch.append(self._requests[self._queue.popleft()])
+            if not batch:
+                break
+            processed.extend(self._process_cycle(batch))
+            if remaining is not None:
+                remaining -= len(batch)
+        return processed
+
+    def _cycle_capacity(self) -> int:
+        """Requests per cycle such that no challenge window lapses mid-cycle.
+
+        The first task of a cycle is submitted ~2 transactions (blocks) per
+        request before the last dispute of the cycle opens; keeping a cycle
+        to a quarter of the window in blocks leaves ample margin.
+        """
+        window_blocks = self.coordinator.challenge_window_s / \
+            self.coordinator.chain.block_interval_s
+        return max(1, int(window_blocks / 4))
+
+    def _process_cycle(self, batch: List[ServiceRequest]) -> List[ServiceRequest]:
+        started = time.perf_counter()
+
+        # Phase 1+: execute, commit, and submit every request as its own task.
+        self._execute_and_submit(batch)
+
+        # Phase 2 entry: open every dispute while all challenge windows are
+        # still live (chain time moves with every transaction, so disputes
+        # must be opened before the windows are allowed to lapse).
+        actives: List[Tuple[ServiceRequest, DisputeGame, ActiveDispute]] = []
+        for request in batch:
+            report = request.report
+            if report is None:  # rejected before reaching the coordinator
+                continue
+            if request.force_challenge or not report.finalized_optimistically:
+                entry = self.model(request.model_name)
+                game = entry.session.make_dispute_game()
+                challenger = self._challenger_clone(entry)
+                proposer = request.proposer or entry.proposer
+                active = game.open(report.task, proposer, challenger, report.result)
+                actives.append((request, game, active))
+                report.challenged = True
+                report.finalized_optimistically = False
+                self.stats_record.disputes_opened += 1
+
+        # Phases 2-3: multiplex the dispute games round-robin.
+        running = list(actives)
+        while running:
+            still_running = []
+            for item in running:
+                request, game, active = item
+                if game.step_round(active):
+                    still_running.append(item)
+                self.stats_record.dispute_rounds += 1
+            running = still_running
+        for request, game, active in actives:
+            request.report.dispute = game.conclude(active)
+
+        # Finalize every unchallenged task after one window advance.
+        window = self.coordinator.challenge_window_s
+        if any(r.report is not None and not r.report.challenged for r in batch):
+            self.coordinator.chain.advance_time(window + 1.0)
+        for request in batch:
+            report = request.report
+            if report is not None and not report.challenged:
+                proposer = request.proposer or self.model(request.model_name).proposer
+                self.coordinator.try_finalize(report.task.task_id, caller=proposer.name)
+                report.finalized_optimistically = True
+
+        now = time.perf_counter()
+        for request in batch:
+            if request.report is not None:
+                request.status = request.report.final_status
+            request.completed_s = now
+            self.stats_record.requests_completed += 1
+            self.stats_record.latencies_s.append(request.latency_s)
+            counts = self.stats_record.status_counts
+            counts[request.status] = counts.get(request.status, 0) + 1
+        self.stats_record.processing_time_s += now - started
+        return batch
+
+    # -- execution internals ---------------------------------------------
+
+    def _execute_and_submit(self, batch: List[ServiceRequest]) -> None:
+        """Produce a ProposedResult + coordinator task + verdict per request."""
+        # Partition into the batchable default path vs. custom proposers.
+        default_path: Dict[str, List[ServiceRequest]] = {}
+        custom_path: List[ServiceRequest] = []
+        for request in batch:
+            if request.proposer is None:
+                default_path.setdefault(request.model_name, []).append(request)
+            else:
+                custom_path.append(request)
+
+        for model_name, requests in default_path.items():
+            entry = self.model(model_name)
+            misses: List[ServiceRequest] = []
+            verdicts: Dict[int, CachedVerdict] = {}
+            input_hashes: Dict[int, bytes] = {}
+            pending: Dict[bytes, List[ServiceRequest]] = {}
+            for request in requests:
+                try:
+                    # The commitment's H(x) doubles as the cache key, so the
+                    # two can never diverge.
+                    key = execution_input_hash(request.inputs, self.hash_cache)
+                except Exception as exc:
+                    self._reject(request, f"unhashable payload: {exc}")
+                    continue
+                input_hashes[request.request_id] = key
+                if self.enable_result_cache:
+                    cached = entry.result_cache.get(key)
+                    if cached is not None:
+                        entry.result_cache.move_to_end(key)
+                        # Content-addressed hit from an earlier processing cycle.
+                        verdicts[request.request_id] = cached
+                        request.cache_hit = True
+                        self.stats_record.cache_hits += 1
+                        continue
+                    if key in pending:
+                        # Duplicate payload within this cycle: executed once.
+                        pending[key].append(request)
+                        request.cache_hit = True
+                        self.stats_record.cache_hits += 1
+                        continue
+                    pending[key] = []
+                misses.append(request)
+
+            for chunk_start in range(0, len(misses), self.max_batch):
+                chunk = misses[chunk_start:chunk_start + self.max_batch]
+                fresh = self._execute_default(entry, chunk)
+                for request, verdict in zip(chunk, fresh):
+                    key = input_hashes[request.request_id]
+                    if verdict is None:
+                        # Rejected; duplicates of the same payload fail alike.
+                        for waiter in pending.get(key, ()):
+                            self._reject(waiter, request.error)
+                        continue
+                    verdicts[request.request_id] = verdict
+                    if self.enable_result_cache:
+                        entry.result_cache[key] = verdict
+                        entry.result_cache.move_to_end(key)
+                        while len(entry.result_cache) > self.result_cache_size:
+                            entry.result_cache.popitem(last=False)
+                        for waiter in pending.get(key, ()):
+                            verdicts[waiter.request_id] = verdict
+
+            for request in requests:
+                if request.status == "rejected":
+                    continue
+                verdict = verdicts[request.request_id]
+                task = self.coordinator.submit_result(
+                    model_name, entry.user.name, entry.proposer.name,
+                    verdict.result.commitment, fee=entry.user.fee_per_request,
+                )
+                request.report = SessionReport(
+                    task=task,
+                    result=verdict.result,
+                    challenged=False,
+                    finalized_optimistically=verdict.looks_honest and not request.force_challenge,
+                    verification_reports=list(verdict.reports),
+                )
+
+        for request in custom_path:
+            entry = self.model(request.model_name)
+            proposer = request.proposer
+            try:
+                result = proposer.execute(entry.session.graph_module,
+                                          entry.session.model_commitment, request.inputs)
+            except Exception as exc:
+                self._reject(request, str(exc))
+                continue
+            task = self.coordinator.submit_result(
+                request.model_name, entry.user.name, proposer.name,
+                result.commitment, fee=entry.user.fee_per_request,
+            )
+            looks_honest, reports = entry.challenger.verify_result(
+                entry.session.graph_module, result
+            )
+            request.report = SessionReport(
+                task=task,
+                result=result,
+                challenged=False,
+                finalized_optimistically=looks_honest and not request.force_challenge,
+                verification_reports=reports,
+            )
+
+    @staticmethod
+    def _reject(request: ServiceRequest, error: Optional[str]) -> None:
+        """Mark a request as rejected (terminal) without touching the chain."""
+        request.status = "rejected"
+        request.error = error or "execution failed"
+
+    def _execute_default(self, entry: ModelEntry,
+                         requests: List[ServiceRequest]) -> List[Optional[CachedVerdict]]:
+        """Honest-proposer execution + challenger verification, batched.
+
+        Returns one verdict per request; a request whose execution raises
+        (malformed payload) is rejected in place and yields ``None`` — the
+        rest of the chunk is unaffected.
+        """
+        graph_module = entry.session.graph_module
+        inputs_list = [request.inputs for request in requests]
+
+        pairs: Optional[List] = None
+        batched = False
+        if self.enable_batching and len(requests) > 1:
+            try:
+                proposer_traces = entry.proposer.interpreter.engine.run_batch(
+                    graph_module, inputs_list, record=True, count_flops=True,
+                )
+                batched = entry.proposer.interpreter.engine.last_batch_stacked
+                challenger_traces = entry.challenger.interpreter.engine.run_batch(
+                    graph_module, inputs_list, record=True, count_flops=True,
+                )
+                pairs = list(zip(proposer_traces, challenger_traces))
+            except Exception:
+                pairs = None  # isolate the failure per request below
+                batched = False
+        if pairs is None:
+            pairs = []
+            for request, inputs in zip(requests, inputs_list):
+                try:
+                    pairs.append((
+                        entry.proposer.interpreter.run(graph_module, inputs,
+                                                       record=True, count_flops=True),
+                        entry.challenger.interpreter.run(graph_module, inputs,
+                                                         record=True, count_flops=True),
+                    ))
+                except Exception as exc:
+                    self._reject(request, str(exc))
+                    pairs.append(None)
+
+        verdicts: List[Optional[CachedVerdict]] = []
+        for request, pair in zip(requests, pairs):
+            if pair is None:
+                verdicts.append(None)
+                continue
+            trace, check = pair
+            request.batched = batched
+            if batched:
+                self.stats_record.batched_requests += 1
+            commitment = make_execution_commitment(
+                entry.session.model_commitment, dict(request.inputs),
+                list(trace.outputs),
+                meta={
+                    "device": entry.proposer.device.name,
+                    "dtype": "float32",
+                    "proposer": entry.proposer.name,
+                    "kernel_stack": entry.proposer.device.signature(),
+                },
+                cache=self.hash_cache,
+            )
+            result = ProposedResult(
+                model_name=graph_module.name,
+                inputs=dict(request.inputs),
+                outputs=trace.outputs,
+                output_names=trace.output_names,
+                trace_values=dict(trace.values),
+                commitment=commitment,
+                forward_flops=trace.flops.total,
+                wall_time_s=trace.wall_time_s,
+                device_name=entry.proposer.device.name,
+            )
+            looks_honest, reports = entry.challenger.verify_with_trace(result, check)
+            verdicts.append(CachedVerdict(result=result, looks_honest=looks_honest,
+                                          reports=reports))
+        return verdicts
+
+    def _challenger_clone(self, entry: ModelEntry) -> Challenger:
+        """A fresh challenger for one dispute (isolated per-dispute accounting).
+
+        Multiplexed disputes step concurrently; a shared challenger object
+        would mix the FLOP/Merkle accounting of one game into another's
+        statistics.  Clones share the device, thresholds and hash cache of
+        the model's standing challenger, so selection behaviour is identical.
+        """
+        entry.challenger_clones += 1
+        name = f"{entry.challenger.name}-{entry.challenger_clones}"
+        self.coordinator.chain.fund(name, entry.session.initial_balance)
+        return Challenger(name, entry.challenger.device, entry.challenger.thresholds,
+                          hash_cache=self.hash_cache)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return self.stats_record

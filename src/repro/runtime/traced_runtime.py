@@ -17,6 +17,7 @@ from repro.bounds.coexec import BoundedExecution, BoundInterpreter
 from repro.bounds.fp_model import BoundMode
 from repro.calibration.calibrator import CalibrationConfig, CalibrationResult, Calibrator
 from repro.calibration.thresholds import ThresholdTable
+from repro.engine.engine import ExecutionEngine
 from repro.graph.graph import GraphModule
 from repro.graph.interpreter import ExecutionTrace, Interpreter
 from repro.graph.module import Module
@@ -47,6 +48,19 @@ class TracedRuntime:
         self.graph_module: GraphModule = trace_module(
             module, dict(example_inputs), device=trace_device, name=name
         )
+        self._engines: Dict[str, ExecutionEngine] = {}
+
+    def engine(self, device: DeviceProfile) -> ExecutionEngine:
+        """The (cached) execution engine for ``device``.
+
+        All engines share the plan compiled once for this runtime's graph, so
+        repeated :meth:`execute` / :meth:`execute_batch` calls skip operator
+        resolution and graph walking entirely.
+        """
+        key = device.name
+        if key not in self._engines:
+            self._engines[key] = ExecutionEngine(device)
+        return self._engines[key]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -66,9 +80,20 @@ class TracedRuntime:
     def execute(self, inputs: Mapping[str, np.ndarray], device: DeviceProfile,
                 record: bool = False, count_flops: bool = False,
                 overrides: Optional[Dict[str, np.ndarray]] = None) -> ExecutionTrace:
-        """Run the full graph on ``device``."""
-        return Interpreter(device).run(self.graph_module, dict(inputs), record=record,
+        """Run the full graph on ``device`` over the cached execution plan."""
+        return self.engine(device).run(self.graph_module, dict(inputs), record=record,
                                        count_flops=count_flops, overrides=overrides)
+
+    def execute_batch(self, inputs_list: Sequence[Mapping[str, np.ndarray]],
+                      device: DeviceProfile, record: bool = False,
+                      count_flops: bool = False) -> List[ExecutionTrace]:
+        """Run many independent requests, vectorized where certified bit-exact.
+
+        Returns one trace per request (see
+        :meth:`~repro.engine.engine.ExecutionEngine.run_batch`).
+        """
+        return self.engine(device).run_batch(self.graph_module, inputs_list,
+                                             record=record, count_flops=count_flops)
 
     def execute_with_bounds(self, inputs: Mapping[str, np.ndarray],
                             device: DeviceProfile,

@@ -19,6 +19,41 @@ from typing import Any
 import numpy as np
 
 
+def canonical_array_chunks(value: np.ndarray):
+    """Yield the canonical serialization of an array as buffer chunks.
+
+    The concatenation of the yielded chunks is exactly the byte string
+    :func:`canonical_bytes` produces for the same array, but the raw data
+    buffer is yielded as a zero-copy memoryview when the array is already
+    C-contiguous — so streaming consumers (incremental hashing of large
+    weight/activation tensors) avoid materializing a second copy of the
+    tensor.
+    """
+    arr = np.ascontiguousarray(value)
+    # Normalize byte order so the commitment is platform independent.
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    header = json.dumps(
+        {
+            "kind": "ndarray",
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "strides": list(arr.strides),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    yield b"NDARRAY\x00"
+    yield len(header).to_bytes(8, "big")
+    yield header
+    if arr.size == 0:
+        # memoryview.cast rejects zero-size views; the canonical data
+        # segment of an empty tensor is simply empty.
+        yield b""
+    else:
+        yield memoryview(arr).cast("B")
+
+
 def canonical_bytes(value: Any) -> bytes:
     """Serialize ``value`` to a canonical byte string.
 
@@ -27,21 +62,7 @@ def canonical_bytes(value: Any) -> bytes:
     C-contiguous little-endian buffers, prefixed with dtype/shape metadata.
     """
     if isinstance(value, np.ndarray):
-        arr = np.ascontiguousarray(value)
-        # Normalize byte order so the commitment is platform independent.
-        if arr.dtype.byteorder == ">":
-            arr = arr.astype(arr.dtype.newbyteorder("<"))
-        header = json.dumps(
-            {
-                "kind": "ndarray",
-                "dtype": str(arr.dtype),
-                "shape": list(arr.shape),
-                "strides": list(arr.strides),
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        ).encode("utf-8")
-        return b"NDARRAY\x00" + len(header).to_bytes(8, "big") + header + arr.tobytes()
+        return b"".join(bytes(chunk) for chunk in canonical_array_chunks(value))
     if isinstance(value, (bool, int, float, str)) or value is None:
         return b"SCALAR\x00" + canonical_json(value).encode("utf-8")
     if isinstance(value, bytes):

@@ -1,0 +1,152 @@
+"""Engine parity: the plan-based engine must match the reference interpreter
+bit for bit on every zoo model.
+
+The refactor's contract is that ``Interpreter.run`` (now a dispatch over a
+cached :class:`~repro.engine.plan.ExecutionPlan`) is observationally
+identical to the seed node-by-node loop retained as
+``Interpreter.run_reference``: same outputs, same recorded trace, same FLOP
+accounting, and therefore identical execution-commitment hashes.  These
+tests pin that contract for every model in :mod:`repro.models.zoo` on two
+device profiles, and additionally pin the batched path (stacked execution
+must be certified bit-identical or fall back to sequential).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionEngine, plan_for
+from repro.graph.interpreter import Interpreter
+from repro.merkle.commitments import hash_tensor
+from repro.models import available_models, get_model_spec
+from repro.tensorlib.device import DEVICE_FLEET
+from repro.utils.hashing import sha256_bytes
+from repro.utils.serialization import canonical_bytes
+
+#: Two profiles with different accumulation strategies and split factors.
+PARITY_DEVICES = (DEVICE_FLEET[0], DEVICE_FLEET[2])
+
+_TRACED: Dict[str, tuple] = {}
+
+
+def traced_model(name: str):
+    """Trace each zoo model once per test session (tracing dominates cost)."""
+    if name not in _TRACED:
+        spec = get_model_spec(name)
+        module = spec.build_module()
+        graph = spec.trace(module, batch_size=1, seed=3)
+        requests = [spec.sample_inputs(module, 1, seed=100 + i) for i in range(3)]
+        _TRACED[name] = (spec, module, graph, requests)
+    return _TRACED[name]
+
+
+def assert_traces_identical(got, expected, model_name: str, device_name: str) -> None:
+    assert got.output_names == expected.output_names
+    assert set(got.values) == set(expected.values), (
+        f"{model_name}@{device_name}: engine trace records different nodes"
+    )
+    for node_name, reference in expected.values.items():
+        reference = np.asarray(reference)
+        value = np.asarray(got.values[node_name])
+        assert value.shape == reference.shape, f"{model_name}:{node_name} shape"
+        assert value.dtype == reference.dtype, f"{model_name}:{node_name} dtype"
+        assert value.tobytes() == reference.tobytes(), (
+            f"{model_name}@{device_name}: node {node_name!r} is not bit-identical"
+        )
+    assert got.flops.per_op == expected.flops.per_op
+
+
+@pytest.mark.parametrize("model_name", available_models())
+@pytest.mark.parametrize("device", PARITY_DEVICES, ids=lambda d: d.name)
+def test_engine_matches_reference_interpreter(model_name, device):
+    """Outputs, recorded traces and trace hashes are bit-identical."""
+    _, _, graph, requests = traced_model(model_name)
+    interpreter = Interpreter(device)
+
+    engine_trace = interpreter.run(graph, requests[0], record=True, count_flops=True)
+    reference_trace = interpreter.run_reference(graph, requests[0], record=True,
+                                                count_flops=True)
+    assert_traces_identical(engine_trace, reference_trace, model_name, device.name)
+
+    # The canonical tensor hashes over the trace (what commitments and
+    # dispute records are built from) are consequently identical too.
+    for node_name in reference_trace.values:
+        assert hash_tensor(engine_trace.values[node_name]) == \
+            hash_tensor(reference_trace.values[node_name])
+
+
+@pytest.mark.parametrize("model_name", available_models())
+def test_engine_commitment_hashes_match(model_name):
+    """Execution commitments built from both paths have equal digests."""
+    from repro.merkle.commitments import interface_hash
+
+    _, _, graph, requests = traced_model(model_name)
+    device = PARITY_DEVICES[0]
+    interpreter = Interpreter(device)
+    engine_trace = interpreter.run(graph, requests[1])
+    reference_trace = interpreter.run_reference(graph, requests[1])
+    assert interface_hash(list(engine_trace.outputs)) == \
+        interface_hash(list(reference_trace.outputs))
+
+
+@pytest.mark.parametrize("model_name", available_models())
+def test_batched_execution_matches_sequential(model_name):
+    """run_batch returns per-request traces bit-identical to sequential runs.
+
+    Batch-polymorphic graphs take the certified stacked path; the rest
+    (e.g. transformers with traced-batch reshape attributes) must fall back
+    — either way the observable results are identical.
+    """
+    _, _, graph, requests = traced_model(model_name)
+    device = PARITY_DEVICES[1]
+    engine = ExecutionEngine(device)
+
+    batched = engine.run_batch(graph, requests, record=True, count_flops=True)
+    sequential = [engine.run(graph, req, record=True, count_flops=True)
+                  for req in requests]
+    assert len(batched) == len(sequential)
+    for got, expected in zip(batched, sequential):
+        assert got.output_names == expected.output_names
+        assert set(got.values) == set(expected.values)
+        for node_name, reference in expected.values.items():
+            value = np.asarray(got.values[node_name])
+            reference = np.asarray(reference)
+            assert value.shape == reference.shape
+            assert value.dtype == reference.dtype
+            assert value.tobytes() == reference.tobytes(), (
+                f"{model_name}: batched value for {node_name!r} diverges"
+            )
+        # FLOPs are attributed proportionally in the stacked path; equal-size
+        # requests must therefore match the sequential accounting closely.
+        assert got.flops.total == pytest.approx(expected.flops.total, rel=1e-6)
+
+
+def test_streaming_tensor_hash_matches_canonical_bytes():
+    """hash_tensor streams canon(z) into SHA-256 without changing digests."""
+    rng = np.random.default_rng(0)
+    samples = [
+        rng.standard_normal((3, 5)).astype(np.float32),
+        rng.integers(0, 100, size=(4, 7)),
+        np.float32(3.25) * np.ones((1,), dtype=np.float32),
+        rng.standard_normal((2, 3, 4, 5)).astype(np.float32)[:, ::2],  # non-contiguous
+        np.zeros((0, 4), dtype=np.float32),  # zero-size batch axis
+        np.float32(7.5),  # 0-d
+    ]
+    for sample in samples:
+        assert hash_tensor(sample) == sha256_bytes(canonical_bytes(np.asarray(sample)))
+
+
+def test_plan_is_cached_and_invalidated_on_retrace():
+    """plan_for reuses the compiled plan and recompiles on graph change."""
+    _, _, graph, _ = traced_model("resnet_mini")
+    plan_a = plan_for(graph)
+    plan_b = plan_for(graph)
+    assert plan_a is plan_b
+    assert plan_a.num_operators == graph.num_operators
+    assert set(plan_a.output_names) == set(
+        arg.name for arg in graph.graph.output_node.args
+        if not isinstance(arg, (int, float, str))
+    )

@@ -1,0 +1,208 @@
+"""TAOService: concurrent honest + adversarial requests over one coordinator.
+
+The service must (1) bring every submitted request to a terminal coordinator
+status, (2) reach the same dispute outcomes the single-request
+``TAOSession.run_request`` path reaches for the same inputs/perturbations,
+and (3) keep its performance machinery (batched execution, content-addressed
+result cache, multiplexed dispute games) observationally transparent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import trace_module
+from repro.protocol import TAOService, TAOSession
+from repro.protocol.coordinator import TaskStatus
+
+TERMINAL = {
+    TaskStatus.FINALIZED.value,
+    TaskStatus.PROPOSER_SLASHED.value,
+    TaskStatus.CHALLENGER_SLASHED.value,
+}
+
+
+@pytest.fixture()
+def service(mlp_graph, mlp_thresholds):
+    service = TAOService(n_way=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    return service
+
+
+def _victim_operator(graph):
+    return next(node.name for node in graph.graph.operators if node.target == "linear")
+
+
+def test_interleaved_honest_and_adversarial_requests(service, mlp_graph,
+                                                     mlp_input_factory):
+    """A mixed stream: every request terminal, cheats localized, honest finalized."""
+    session = service.model("tiny_mlp").session
+    victim = _victim_operator(mlp_graph)
+
+    honest_ids, cheat_ids = [], []
+    for i in range(4):
+        honest_ids.append(service.submit("tiny_mlp", mlp_input_factory(50 + i)))
+        adv = session.make_adversarial_proposer(
+            f"cheater-{i}", {victim: np.float32(0.05)})
+        cheat_ids.append(service.submit("tiny_mlp", mlp_input_factory(80 + i),
+                                        proposer=adv))
+
+    processed = service.process()
+    assert len(processed) == 8
+    assert service.pending_count == 0
+
+    for request in processed:
+        assert request.status in TERMINAL
+        assert request.report is not None
+        assert request.report.final_status == request.status
+
+    for request_id in honest_ids:
+        request = service.request(request_id)
+        assert request.status == TaskStatus.FINALIZED.value
+        assert request.report.finalized_optimistically
+    for request_id in cheat_ids:
+        request = service.request(request_id)
+        assert request.status == TaskStatus.PROPOSER_SLASHED.value
+        assert request.report.dispute is not None
+        assert request.report.dispute.localized_operator == victim
+
+    stats = service.stats()
+    assert stats.requests_completed == 8
+    assert stats.disputes_opened == 4
+    assert stats.throughput_rps > 0
+
+
+def test_dispute_outcomes_match_single_session(service, mlp_graph, mlp_thresholds,
+                                               mlp_input_factory):
+    """The multiplexed service path and the seed session path agree per request."""
+    victim = _victim_operator(mlp_graph)
+    inputs = mlp_input_factory(321)
+    perturbation = {victim: np.float32(0.05)}
+
+    # Seed path: one request through an isolated TAOSession.
+    reference_session = TAOSession(mlp_graph, threshold_table=mlp_thresholds, n_way=2)
+    reference_session.setup()
+    reference_proposer = reference_session.make_adversarial_proposer(
+        "ref-cheater", perturbation)
+    reference_report = reference_session.run_request(inputs, reference_proposer)
+
+    # Service path: the same cheat interleaved with honest traffic.
+    session = service.model("tiny_mlp").session
+    service.submit("tiny_mlp", mlp_input_factory(11))
+    cheat_id = service.submit(
+        "tiny_mlp", inputs,
+        proposer=session.make_adversarial_proposer("svc-cheater", perturbation))
+    service.submit("tiny_mlp", mlp_input_factory(12))
+    service.process()
+
+    service_report = service.request(cheat_id).report
+    assert service_report.final_status == reference_report.final_status
+    assert service_report.proposer_cheated == reference_report.proposer_cheated
+    assert service_report.dispute.localized_operator == \
+        reference_report.dispute.localized_operator
+    assert service_report.dispute.statistics.rounds == \
+        reference_report.dispute.statistics.rounds
+    assert service_report.dispute.adjudication.path == \
+        reference_report.dispute.adjudication.path
+
+
+def test_forced_challenge_on_honest_result_slashes_challenger(service,
+                                                              mlp_input_factory):
+    """A spamming challenger against an honest result loses its bond."""
+    request_id = service.submit("tiny_mlp", mlp_input_factory(5), force_challenge=True)
+    service.process()
+    request = service.request(request_id)
+    assert request.status == TaskStatus.CHALLENGER_SLASHED.value
+    assert request.report.dispute.resolved_by_timeout
+
+
+def test_result_cache_serves_repeated_payloads(service, mlp_input_factory):
+    """Identical payloads execute once; verdicts and commitments are reused."""
+    inputs = mlp_input_factory(77)
+    first = service.submit("tiny_mlp", inputs)
+    duplicates = [service.submit("tiny_mlp", inputs) for _ in range(3)]
+    service.process()
+    # Next cycle hits the cross-cycle cache.
+    later = service.submit("tiny_mlp", inputs)
+    service.process()
+
+    base = service.request(first)
+    assert not base.cache_hit
+    for request_id in duplicates + [later]:
+        request = service.request(request_id)
+        assert request.cache_hit
+        assert request.status == TaskStatus.FINALIZED.value
+        assert request.report.result.commitment.value == \
+            base.report.result.commitment.value
+        # Every duplicate is still its own on-chain task.
+        assert request.report.task.task_id != base.report.task.task_id
+    assert service.stats().cache_hits == 4
+
+
+def test_multi_tenant_models_share_one_coordinator(service, mlp_module,
+                                                   mlp_thresholds,
+                                                   mlp_input_factory):
+    """A second registered model serves through the same coordinator/chain."""
+    second_graph = trace_module(mlp_module, mlp_input_factory(0), name="tiny_mlp_b")
+    service.register_model(second_graph, threshold_table=mlp_thresholds)
+    assert service.model_names == ["tiny_mlp", "tiny_mlp_b"]
+
+    id_a = service.submit("tiny_mlp", mlp_input_factory(31))
+    id_b = service.submit("tiny_mlp_b", mlp_input_factory(32))
+    service.process()
+    assert service.request(id_a).status == TaskStatus.FINALIZED.value
+    assert service.request(id_b).status == TaskStatus.FINALIZED.value
+    assert set(service.coordinator.models) == {"tiny_mlp", "tiny_mlp_b"}
+    # Both models' tasks live in one transaction log.
+    actions = [tx.action for tx in service.coordinator.chain.transactions]
+    assert actions.count("register_model") == 2
+
+
+def test_malformed_request_is_rejected_in_isolation(service, mlp_input_factory):
+    """A payload the graph cannot execute is rejected; the batch is unaffected."""
+    good = [service.submit("tiny_mlp", mlp_input_factory(400 + i)) for i in range(3)]
+    bad = service.submit("tiny_mlp", {"x": np.zeros((4, 7), dtype=np.float32)})
+    missing = service.submit("tiny_mlp", {"wrong_name": np.zeros((4, 32))})
+    service.process()
+
+    for request_id in good:
+        assert service.request(request_id).status == TaskStatus.FINALIZED.value
+    for request_id in (bad, missing):
+        request = service.request(request_id)
+        assert request.status == "rejected"
+        assert request.report is None  # never reached the coordinator
+        assert request.error
+
+
+def test_large_drain_exceeding_challenge_window_blocks(service, mlp_input_factory):
+    """Draining more requests than fit one challenge window still terminates.
+
+    Every coordinator transaction advances chain time one block, so a single
+    unbounded cycle over ~window/block_interval requests would close the
+    earliest tasks' challenge windows before their disputes could open.  The
+    service must process in bounded cycles instead; the force-challenged
+    last request exercises the worst case (its dispute opens last).
+    """
+    window_blocks = int(service.coordinator.challenge_window_s
+                        / service.coordinator.chain.block_interval_s)
+    total = window_blocks + 10  # more submissions than blocks in one window
+    payload = mlp_input_factory(63)  # a payload the thresholds accept
+    ids = [service.submit("tiny_mlp", payload) for _ in range(total)]
+    forced = service.submit("tiny_mlp", mlp_input_factory(64), force_challenge=True)
+
+    processed = service.process()
+    assert len(processed) == total + 1
+    for request_id in ids:
+        assert service.request(request_id).status == TaskStatus.FINALIZED.value
+    assert service.request(forced).status == TaskStatus.CHALLENGER_SLASHED.value
+
+
+def test_every_request_is_a_coordinator_task(service, mlp_input_factory):
+    """Request/task bijection: fees and windows are accounted per request."""
+    ids = [service.submit("tiny_mlp", mlp_input_factory(200 + i)) for i in range(5)]
+    service.process()
+    task_ids = {service.request(i).report.task.task_id for i in ids}
+    assert len(task_ids) == 5
+    for task_id in task_ids:
+        assert service.coordinator.task(task_id).status is TaskStatus.FINALIZED
