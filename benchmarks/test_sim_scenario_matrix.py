@@ -1,0 +1,122 @@
+"""Simulator scenario matrix: detection rate x fault magnitude x workload.
+
+For each of the paper's four workloads the adversarial simulator sweeps two
+fault families across magnitudes:
+
+* ``bit_flip`` — low-order mantissa corruption; magnitude = number of low
+  bits flipped.  Small flips hide inside the cross-device noise floor the
+  thresholds were calibrated to tolerate; large flips must be flagged and
+  slashed.
+* ``bound_edge`` — perturbations projected onto the committed empirical cap
+  curve and scaled by an edge factor; factors below ~1 probe the tolerated
+  sub-threshold region, factors above it must be caught.
+
+Reported per (workload, fault, magnitude): the fraction of tampered
+requests flagged by Phase-1 verification, the fraction slashed after the
+dispute game, and the invariant-violation count (must be zero everywhere —
+this sweep doubles as a regression net for the protocol invariants).
+
+The emitted table (``benchmarks/results/sim_scenario_matrix.md``) is the
+artifact CI uploads for every build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.sim import Scenario, prepare_workload, run_scenario
+
+from benchmarks.conftest import BENCH_MODELS, PAPER_NAMES
+from benchmarks.reporting import emit_table
+
+#: (fault kind, magnitudes swept).  Bits for bit_flip, edge factor otherwise.
+FAULT_SWEEP = (
+    ("bit_flip", (4, 10, 16, 20)),
+    ("bound_edge", (0.25, 1.0, 4.0)),
+)
+
+SCENARIOS_PER_CELL = 2
+REQUESTS_PER_SCENARIO = 3
+
+
+def _sweep_cell(workload, model_name: str, kind: str, magnitude: float,
+                ) -> Dict[str, float]:
+    tampered = flagged = slashed = violations = 0
+    for index in range(SCENARIOS_PER_CELL):
+        scenario = Scenario(
+            name=f"matrix-{model_name}-{kind}-{magnitude}-{index}",
+            seed=9000 + index,
+            model=model_name,
+            num_requests=REQUESTS_PER_SCENARIO,
+            fault_rate=1.0,
+            fault_kinds=(kind,),
+            force_challenge_rate=0.0,
+        ).with_magnitude(kind, magnitude)
+        result = run_scenario(scenario, workload)
+        violations += len(result.violations)
+        for outcome in result.outcomes:
+            if outcome.event.kind != kind:
+                continue
+            tampered += 1
+            flagged += int(outcome.flagged)
+            slashed += int(outcome.proposer_slashed)
+    return {
+        "tampered": tampered,
+        "flagged_rate": flagged / tampered if tampered else 0.0,
+        "detection_rate": slashed / tampered if tampered else 0.0,
+        "violations": violations,
+    }
+
+
+@pytest.fixture(scope="module")
+def matrix_rows() -> List[List[object]]:
+    rows: List[List[object]] = []
+    for model_name in BENCH_MODELS:
+        workload = prepare_workload(model_name)
+        for kind, magnitudes in FAULT_SWEEP:
+            for magnitude in magnitudes:
+                cell = _sweep_cell(workload, model_name, kind, magnitude)
+                rows.append([
+                    PAPER_NAMES.get(model_name, model_name),
+                    kind,
+                    magnitude,
+                    cell["tampered"],
+                    f"{cell['flagged_rate']:.0%}",
+                    f"{cell['detection_rate']:.0%}",
+                    cell["violations"],
+                ])
+    return rows
+
+
+def test_sim_scenario_matrix(matrix_rows):
+    """The sweep upholds every invariant and detection grows with magnitude."""
+    emit_table(
+        "sim_scenario_matrix",
+        "Simulator detection rate x fault magnitude (all four workloads)",
+        ["workload", "fault", "magnitude", "tampered requests",
+         "flagged", "slashed", "invariant violations"],
+        matrix_rows,
+        notes=(f"{SCENARIOS_PER_CELL} scenarios x {REQUESTS_PER_SCENARIO} "
+               "requests per cell; magnitudes are low mantissa bits for "
+               "bit_flip and cap-curve edge factors for bound_edge.  "
+               "Sub-threshold magnitudes finalizing is the paper's tolerance "
+               "semantics, not a miss."),
+    )
+    assert len(matrix_rows) == len(BENCH_MODELS) * sum(
+        len(m) for _, m in FAULT_SWEEP)
+    # The regression net: no invariant violation anywhere in the sweep.
+    assert all(row[-1] == 0 for row in matrix_rows)
+    # Magnitude discrimination, per workload: the weakest bit_flip hides in
+    # the calibrated noise floor (0% flagged), the strongest is always
+    # flagged by Phase-1 verification.  (Slashing can fall short of 100% on
+    # attention-heavy graphs where the bisection dead-ends — the table
+    # reports that honestly.)
+    for model_name in BENCH_MODELS:
+        label = PAPER_NAMES.get(model_name, model_name)
+        flips = [row for row in matrix_rows
+                 if row[0] == label and row[1] == "bit_flip"]
+        assert flips[0][4] == "0%", (model_name, flips[0])
+        assert flips[-1][4] == "100%", (model_name, flips[-1])
+        assert flips[-1][5] != "0%", (model_name, flips[-1])

@@ -20,7 +20,10 @@ The package provides the full TAO stack built from scratch on NumPy:
 * :mod:`repro.models` / :mod:`repro.workloads` — mini-scale analogues of the
   paper's four workloads and synthetic datasets;
 * :mod:`repro.runtime` — the deployable runtime facade, determinism-mode
-  measurement and standalone verification helpers.
+  measurement and standalone verification helpers;
+* :mod:`repro.sim` — the adversarial protocol simulator: seedable
+  multi-actor fault injection with safety / liveness / conservation
+  invariant checking and counterexample shrinking.
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from repro.protocol import (
     analyze_incentives,
 )
 from repro.runtime import TracedRuntime, measure_determinism_overhead
+from repro.sim import Scenario, SimWorkload, run_scenario
 from repro.tensorlib import DEVICE_FLEET, REFERENCE_DEVICE, DeviceProfile
 
 __version__ = "1.0.0"
@@ -83,6 +87,9 @@ __all__ = [
     "analyze_incentives",
     "TracedRuntime",
     "measure_determinism_overhead",
+    "Scenario",
+    "SimWorkload",
+    "run_scenario",
     "DEVICE_FLEET",
     "REFERENCE_DEVICE",
     "DeviceProfile",

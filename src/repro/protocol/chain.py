@@ -38,6 +38,7 @@ class GasSchedule:
         "post_selection": 25_000,
         "request_adjudication": 30_000,
         "post_adjudication": 55_000,
+        "prove_input_binding": 35_000,
         "slash": 40_000,
         "committee_vote": 20_000,
         "merkle_check": 6_000,
@@ -80,6 +81,11 @@ class SimulatedChain:
         self.timestamp = 0.0
         self.transactions: List[Transaction] = []
         self.balances: Dict[str, float] = {}
+        #: Total value ever minted via :meth:`fund`.  Every other balance
+        #: movement is a :meth:`transfer`, so at any point the ledger must
+        #: satisfy ``sum(balances.values()) == minted`` — the conservation
+        #: invariant the protocol simulator checks after every scenario.
+        self.minted = 0.0
 
     # ------------------------------------------------------------------
     # Time
@@ -105,6 +111,7 @@ class SimulatedChain:
         if amount < 0:
             raise ValueError("cannot fund a negative amount")
         self.balances[account] = self.balances.get(account, 0.0) + float(amount)
+        self.minted += float(amount)
 
     def balance(self, account: str) -> float:
         return self.balances.get(account, 0.0)

@@ -319,6 +319,31 @@ class Coordinator:
                           details={"dispute_id": dispute_id, "timeout_loser": loser})
         return loser
 
+    def post_input_binding_fraud(self, dispute_id: int, challenger: str) -> None:
+        """Resolve a dispute by an input-binding fraud proof.
+
+        The execution commitment binds ``H(x)`` on chain; a proposer whose
+        committed trace does not extend the committed input (a stale or
+        substituted trace replayed against a fresh request) is provably
+        fraudulent by a pure hash-equality check — no localization game is
+        needed.  The challenger posts the mismatching placeholder hash pair
+        and the coordinator slashes the proposer immediately.
+        """
+        dispute = self.dispute(dispute_id)
+        if dispute.phase is DisputePhase.RESOLVED:
+            raise CoordinatorError(f"dispute {dispute_id} is already resolved")
+        if challenger != dispute.challenger:
+            raise CoordinatorError(
+                "only the dispute's challenger may post an input-binding proof"
+            )
+        task = self.task(dispute.task_id)
+        self.chain.submit(
+            challenger, "prove_input_binding", payload_bytes=32 * 2 + 8,
+            merkle_checks=1,
+            details={"dispute_id": dispute_id, "task_id": task.task_id},
+        )
+        self._resolve(dispute, task, proposer_cheated=True, path="input_binding")
+
     # ------------------------------------------------------------------
     # Phase 3: adjudication and settlement
     # ------------------------------------------------------------------

@@ -105,6 +105,12 @@ class ActiveDispute:
     dispute: object  # coordinator DisputeRecord
     per_round: List[RoundStatistics] = field(default_factory=list)
     resolved_by_timeout: bool = False
+    #: True when the dispute was settled by an input-binding fraud proof
+    #: (the committed trace did not extend the committed input hash).
+    input_fraud: bool = False
+    #: Hash checks spent on the input-binding verification at open time
+    #: (performed for every dispute, fraud or not).
+    binding_checks: int = 0
 
     @property
     def finished(self) -> bool:
@@ -162,11 +168,25 @@ class DisputeGame:
         challenger: Challenger,
         result: ProposedResult,
     ) -> ActiveDispute:
-        """Open the dispute on chain; rounds are then driven by :meth:`step_round`."""
+        """Open the dispute on chain; rounds are then driven by :meth:`step_round`.
+
+        Before any localization round the challenger checks that the
+        proposer's committed trace extends the committed input hash; a
+        mismatch (stale/substituted trace) is settled immediately by an
+        input-binding fraud proof rather than by playing the game.
+        """
         challenger.reset_accounting()
         dispute = self.coordinator.open_dispute(task.task_id, challenger.name)
-        return ActiveDispute(task=task, proposer=proposer, challenger=challenger,
-                             result=result, dispute=dispute)
+        active = ActiveDispute(task=task, proposer=proposer, challenger=challenger,
+                               result=result, dispute=dispute)
+        bound, checks = challenger.verify_input_binding(result)
+        challenger.merkle_checks += checks
+        active.binding_checks = checks
+        if not bound:
+            self.coordinator.post_input_binding_fraud(dispute.dispute_id,
+                                                      challenger.name)
+            active.input_fraud = True
+        return active
 
     def step_round(self, active: ActiveDispute) -> bool:
         """Play one partition/selection round; returns True while rounds remain.
@@ -180,6 +200,13 @@ class DisputeGame:
         if active.finished:
             return False
         proposer, challenger, result = active.proposer, active.challenger, active.result
+
+        # Liveness faults: either party may stall before its move.  Time
+        # advances on chain; a stall at or beyond the round timeout lets the
+        # counterparty enforce it, forfeiting the dispute.
+        if self._stall(active, proposer.move_delay_s(dispute.round_index),
+                       enforcer=challenger.name):
+            return False
 
         slice_ = SubgraphSlice(dispute.current_start, dispute.current_end)
         partition_before = proposer.stopwatch.total("proposer_partition")
@@ -220,9 +247,28 @@ class DisputeGame:
             self.coordinator.enforce_timeout(dispute.dispute_id, active.challenger.name)
             active.resolved_by_timeout = True
             return False
+        if self._stall(active, challenger.move_delay_s(dispute.round_index),
+                       enforcer=proposer.name):
+            return False
         self.coordinator.post_selection(dispute.dispute_id, active.challenger.name,
                                         outcome.selected_index)
         return not active.finished
+
+    def _stall(self, active: ActiveDispute, delay_s: float, enforcer: str) -> bool:
+        """Advance chain time by a party's stall; returns True when it forfeits.
+
+        A delay below the round timeout is merely late (the move still
+        lands); at or beyond it the counterparty enforces the timeout and the
+        stalled party loses whichever phase the dispute is awaiting.
+        """
+        if delay_s <= 0:
+            return False
+        self.coordinator.chain.advance_time(float(delay_s))
+        loser = self.coordinator.enforce_timeout(active.dispute.dispute_id, enforcer)
+        if loser is None:
+            return False
+        active.resolved_by_timeout = True
+        return True
 
     def conclude(self, active: ActiveDispute) -> DisputeOutcome:
         """Adjudicate the localized leaf (if reached) and settle the outcome."""
@@ -248,7 +294,7 @@ class DisputeGame:
         statistics = DisputeStatistics(
             rounds=len(per_round),
             dispute_time_s=sum(r.partition_time_s + r.selection_time_s for r in per_round),
-            merkle_checks=sum(r.merkle_checks for r in per_round),
+            merkle_checks=active.binding_checks + sum(r.merkle_checks for r in per_round),
             challenger_flops=challenger.dispute_flops,
             adjudication_flops=adjudication_flops,
             gas_used=self.coordinator.dispute_gas(dispute.dispute_id),

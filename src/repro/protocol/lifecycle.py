@@ -17,7 +17,7 @@ Examples and benchmarks drive the system exclusively through this class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -79,6 +79,7 @@ class TAOSession:
         leaf_path: str = "routed",
         initial_balance: float = 10_000.0,
         hash_cache: Optional[HashCache] = None,
+        committee_factory: Optional[Callable[[int, DeviceProfile], CommitteeMember]] = None,
     ) -> None:
         self.graph_module = graph_module
         self.devices = tuple(devices)
@@ -90,6 +91,10 @@ class TAOSession:
         self.bound_mode = bound_mode
         self.leaf_path = leaf_path
         self.initial_balance = float(initial_balance)
+        #: Optional hook building committee member ``i`` on a given device;
+        #: the protocol simulator injects faulty (e.g. colluding) adjudicators
+        #: here without forking the session wiring.
+        self.committee_factory = committee_factory
 
         self._calibration_inputs = list(calibration_inputs) if calibration_inputs is not None else None
         self.calibration: Optional[CalibrationResult] = calibration_result
@@ -125,8 +130,11 @@ class TAOSession:
         self.coordinator.chain.fund(owner, self.initial_balance)
         self.coordinator.register_model(self.model_commitment, owner=owner)
 
+        factory = self.committee_factory or (
+            lambda i, device: CommitteeMember(f"committee-{i}", device)
+        )
         self.committee = [
-            CommitteeMember(f"committee-{i}", self.devices[i % len(self.devices)])
+            factory(i, self.devices[i % len(self.devices)])
             for i in range(self.committee_size)
         ]
         self._is_setup = True

@@ -30,6 +30,7 @@ from repro.merkle.commitments import (
     ExecutionCommitment,
     ModelCommitment,
     SubgraphRecord,
+    hash_tensor,
     make_execution_commitment,
     make_subgraph_record,
     verify_subgraph_record,
@@ -84,6 +85,19 @@ class Proposer:
         self.interpreter = Interpreter(device)
         self.stopwatch = Stopwatch()
         self.hash_cache = hash_cache
+
+    # -- liveness hook ---------------------------------------------------
+
+    def move_delay_s(self, round_index: int) -> float:
+        """Seconds this proposer stalls before its next dispute move.
+
+        The dispute game advances chain time by this amount before the
+        partition of ``round_index`` is posted; a delay at or beyond the
+        coordinator's round timeout forfeits the dispute.  Honest proposers
+        respond immediately; the protocol simulator's faulty actors override
+        this to model dropped or late moves.
+        """
+        return 0.0
 
     # -- execution -------------------------------------------------------
 
@@ -218,6 +232,43 @@ class Challenger:
         self.dispute_flops = 0.0
         self.merkle_checks = 0
         self.stopwatch = Stopwatch()
+
+    def move_delay_s(self, round_index: int) -> float:
+        """Seconds this challenger stalls before its next dispute move.
+
+        Mirrors :meth:`Proposer.move_delay_s`: the dispute game advances
+        chain time by this amount before the selection of ``round_index`` is
+        posted, and a delay at or beyond the round timeout forfeits the
+        dispute.  Honest challengers respond immediately.
+        """
+        return 0.0
+
+    # -- input binding (Phase 2 entry) -------------------------------------
+
+    def verify_input_binding(self, result: ProposedResult) -> Tuple[bool, int]:
+        """Check that the committed trace extends the committed input ``H(x)``.
+
+        The execution commitment binds the request payload on chain, and the
+        selection rule treats the trace's placeholder values as implicitly
+        agreed — so before playing any round the challenger must confirm the
+        two coincide.  A mismatch (a stale or substituted trace replayed
+        against a fresh request) is objectively provable fraud: the
+        challenger posts the hash pair via
+        :meth:`~repro.protocol.coordinator.Coordinator.post_input_binding_fraud`
+        instead of playing the localization game.
+
+        Returns ``(bound, hash_checks)``.
+        """
+        checks = 0
+        for name in sorted(result.inputs):
+            checks += 1
+            claimed = result.trace_values.get(name)
+            if claimed is None:
+                return False, checks
+            committed = hash_tensor(np.asarray(result.inputs[name]), self.hash_cache)
+            if hash_tensor(np.asarray(claimed), self.hash_cache) != committed:
+                return False, checks
+        return True, checks
 
     # -- Phase 1 verification --------------------------------------------
 

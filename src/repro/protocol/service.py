@@ -71,6 +71,11 @@ class ServiceRequest:
     model_name: str
     inputs: Dict[str, np.ndarray]
     proposer: Optional[Proposer] = None  # None -> the model's default honest proposer
+    #: Per-request challenger override: verifies (custom-proposer path) and
+    #: fights any dispute for this request instead of the model's standing
+    #: challenger / a fresh clone.  The protocol simulator injects faulty
+    #: challengers here; None keeps the default machinery.
+    challenger: Optional[Challenger] = None
     force_challenge: bool = False
     status: str = "queued"
     report: Optional[SessionReport] = None
@@ -158,6 +163,7 @@ class TAOService:
         n_way: int = 2,
         committee_size: int = 3,
         leaf_path: str = "routed",
+        hash_cache: Optional[HashCache] = None,
     ) -> None:
         self.coordinator = coordinator or Coordinator()
         self.devices = tuple(devices)
@@ -169,7 +175,9 @@ class TAOService:
         self.n_way = int(n_way)
         self.committee_size = int(committee_size)
         self.leaf_path = leaf_path
-        self.hash_cache = HashCache()
+        # An externally shared cache lets many short-lived services over the
+        # same committed weights (e.g. simulator scenarios) reuse digests.
+        self.hash_cache = hash_cache or HashCache()
 
         self._models: Dict[str, ModelEntry] = {}
         self._queue: Deque[int] = deque()
@@ -237,6 +245,7 @@ class TAOService:
         inputs: Mapping[str, np.ndarray],
         proposer: Optional[Proposer] = None,
         force_challenge: bool = False,
+        challenger: Optional[Challenger] = None,
     ) -> int:
         """Enqueue one request; returns its request id."""
         self.model(model_name)  # fail fast on unknown tenants
@@ -245,6 +254,7 @@ class TAOService:
             model_name=model_name,
             inputs=dict(inputs),
             proposer=proposer,
+            challenger=challenger,
             force_challenge=force_challenge,
             submitted_s=time.perf_counter(),
         )
@@ -320,7 +330,7 @@ class TAOService:
             if request.force_challenge or not report.finalized_optimistically:
                 entry = self.model(request.model_name)
                 game = entry.session.make_dispute_game()
-                challenger = self._challenger_clone(entry)
+                challenger = request.challenger or self._challenger_clone(entry)
                 proposer = request.proposer or entry.proposer
                 active = game.open(report.task, proposer, challenger, report.result)
                 actives.append((request, game, active))
@@ -334,9 +344,14 @@ class TAOService:
             still_running = []
             for item in running:
                 request, game, active = item
+                rounds_before = len(active.per_round)
                 if game.step_round(active):
                     still_running.append(item)
-                self.stats_record.dispute_rounds += 1
+                # Count rounds actually played (a terminal no-op iteration,
+                # or a dispute settled at open by an input-binding fraud
+                # proof, plays none).
+                self.stats_record.dispute_rounds += \
+                    len(active.per_round) - rounds_before
             running = still_running
         for request, game, active in actives:
             request.report.dispute = game.conclude(active)
@@ -458,7 +473,7 @@ class TAOService:
                 request.model_name, entry.user.name, proposer.name,
                 result.commitment, fee=entry.user.fee_per_request,
             )
-            looks_honest, reports = entry.challenger.verify_result(
+            looks_honest, reports = (request.challenger or entry.challenger).verify_result(
                 entry.session.graph_module, result
             )
             request.report = SessionReport(

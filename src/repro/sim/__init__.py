@@ -1,0 +1,83 @@
+"""Adversarial protocol simulator: seedable multi-actor fault injection.
+
+``repro.sim`` turns the ROADMAP's "as many scenarios as you can imagine"
+axis into an executable artifact:
+
+* :mod:`repro.sim.faults` — fault models wrapping the real protocol roles
+  (bit flips, bound-edge perturbations, wrong weights, stale traces, dropped
+  and late dispute moves, colluding committees, device drift);
+* :mod:`repro.sim.scenario` — declarative :class:`Scenario` specs expanded
+  by a seeded RNG into reproducible :class:`RequestEvent` schedules;
+* :mod:`repro.sim.runner` — executes schedules against an unmodified
+  :class:`~repro.protocol.service.TAOService`;
+* :mod:`repro.sim.invariants` — safety / liveness / conservation checks run
+  after every scenario;
+* :mod:`repro.sim.shrinker` — ddmin bisection of violating schedules to
+  minimal counterexamples, emitted as paste-ready regression tests.
+"""
+
+from repro.sim.faults import (
+    FAULT_KINDS,
+    LOCALIZATION_FREE_KINDS,
+    STRONG_TAMPER_KINDS,
+    TAMPERING_KINDS,
+    ColludingCommitteeMember,
+    SimChallenger,
+    SimProposer,
+    StaleTraceProposer,
+    bound_edge_delta,
+    flip_low_bits,
+)
+from repro.sim.invariants import (
+    InvariantError,
+    InvariantViolation,
+    assert_invariants,
+    check_invariants,
+    summarize_outcomes,
+)
+from repro.sim.runner import (
+    SimWorkload,
+    SimulationResult,
+    prepare_workload,
+    run_scenario,
+    run_schedule,
+)
+from repro.sim.scenario import (
+    DEFAULT_FAULT_KINDS,
+    RequestEvent,
+    Scenario,
+    ScenarioSchedule,
+    expand,
+)
+from repro.sim.shrinker import ShrinkResult, emit_regression_test, shrink_schedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEFAULT_FAULT_KINDS",
+    "LOCALIZATION_FREE_KINDS",
+    "STRONG_TAMPER_KINDS",
+    "TAMPERING_KINDS",
+    "ColludingCommitteeMember",
+    "SimChallenger",
+    "SimProposer",
+    "StaleTraceProposer",
+    "bound_edge_delta",
+    "flip_low_bits",
+    "InvariantError",
+    "InvariantViolation",
+    "assert_invariants",
+    "check_invariants",
+    "summarize_outcomes",
+    "SimWorkload",
+    "SimulationResult",
+    "prepare_workload",
+    "run_scenario",
+    "run_schedule",
+    "RequestEvent",
+    "Scenario",
+    "ScenarioSchedule",
+    "expand",
+    "ShrinkResult",
+    "emit_regression_test",
+    "shrink_schedule",
+]

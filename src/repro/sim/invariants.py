@@ -1,0 +1,240 @@
+"""Protocol invariant checking over a finished simulation episode.
+
+Three invariant families, checked after every scenario:
+
+**Safety**
+  * S1 — a proposer whose committed execution is honest is never slashed,
+    no matter how the challenger or committee behave.
+  * S2 — a result the (honest) verification flagged as beyond threshold
+    never reaches ``finalized``: a flag always escalates to a dispute, and a
+    dispute ends in a slash, never a quiet finalization.
+  * S3 — a *strong* tamper (far outside the committed thresholds) that was
+    flagged, fought by an honest, live challenger and judged by an
+    honest-majority committee always ends with the proposer slashed.
+
+**Liveness**
+  * L1 — every accepted request reaches a terminal coordinator status by the
+    end of its drain (no task left ``pending``, no dispute left open).
+  * L2 — rejected requests are terminal too, and never touched the chain.
+
+**Conservation**
+  * C1 — stake conservation: the sum of every account balance equals the
+    total ever minted, exactly (all protocol amounts are binary fractions,
+    so float addition is exact here).
+  * C2 — gas partition: per-dispute gas accounting is exact under
+    multiplexing — dispute-tagged gas plus untagged gas equals total gas.
+  * C3 — no account balance is negative.
+
+The checker is deliberately *conditional*: each assertion states the actor
+assumptions under which the paper claims it (e.g. S3 assumes one honest
+challenger and an honest-majority committee), and the scenario schedule
+carries exactly those honesty bits per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.protocol.coordinator import TaskStatus
+from repro.sim.scenario import RequestEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.runner import SimulationResult
+
+TERMINAL_STATUSES = {
+    TaskStatus.FINALIZED.value,
+    TaskStatus.PROPOSER_SLASHED.value,
+    TaskStatus.CHALLENGER_SLASHED.value,
+    "rejected",
+}
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant failure, tied to the event(s) that produced it."""
+
+    family: str  # "safety" | "liveness" | "conservation"
+    rule: str    # e.g. "S1"
+    message: str
+    event_index: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        where = f" [event {self.event_index}]" if self.event_index is not None else ""
+        return f"{self.rule} ({self.family}){where}: {self.message}"
+
+
+class InvariantError(AssertionError):
+    """Raised by :func:`assert_invariants` when any invariant fails."""
+
+    def __init__(self, violations: List[InvariantViolation]) -> None:
+        self.violations = list(violations)
+        super().__init__("; ".join(str(v) for v in violations))
+
+
+@dataclass
+class EventOutcome:
+    """What actually happened to one scheduled event."""
+
+    event: RequestEvent
+    status: str
+    flagged: bool            # verification reported a threshold exceedance
+    challenged: bool
+    proposer_slashed: bool
+    finalized: bool
+    rejected: bool
+    dispute_path: Optional[str] = None
+
+
+def check_invariants(result: "SimulationResult") -> List[InvariantViolation]:
+    """Run all three invariant families; returns the (possibly empty) list."""
+    violations: List[InvariantViolation] = []
+    violations.extend(_check_safety(result))
+    violations.extend(_check_liveness(result))
+    violations.extend(_check_conservation(result))
+    return violations
+
+
+def assert_invariants(result: "SimulationResult") -> None:
+    violations = check_invariants(result)
+    if violations:
+        raise InvariantError(violations)
+
+
+# ----------------------------------------------------------------------
+# Safety
+# ----------------------------------------------------------------------
+
+def _check_safety(result: "SimulationResult") -> List[InvariantViolation]:
+    out: List[InvariantViolation] = []
+    for outcome in result.outcomes:
+        event = outcome.event
+        if outcome.rejected:
+            continue
+        # S1: honest execution is never slashed.
+        if event.execution_honest and outcome.proposer_slashed:
+            out.append(InvariantViolation(
+                "safety", "S1",
+                f"honest proposer slashed (kind={event.kind}, "
+                f"status={outcome.status})",
+                event.index,
+            ))
+        # S2: a flagged result never finalizes.
+        if outcome.flagged and outcome.finalized:
+            out.append(InvariantViolation(
+                "safety", "S2",
+                f"verification flagged the result but it finalized "
+                f"(kind={event.kind})",
+                event.index,
+            ))
+        # S3: strong tamper + flag + honest live adjudication => slash.
+        # The theoretical-only leaf path is excluded: its IEEE envelope is
+        # sound for honest proposers but deliberately permissive (a cheat
+        # hiding inside the worst-case envelope is acquitted by design).
+        # Localization-dependent tampers are enforced only under
+        # ``strict_localization``: on deep graphs a flagged intermediate
+        # tamper can attenuate below the thresholds of the bisection's cut
+        # points and legitimately dead-end the dispute.
+        adjudication_honest = (
+            not event.challenger_faulty
+            and not event.committee_faulty
+            and not result.schedule.scenario.colluding_committee
+            and result.schedule.scenario.leaf_path != "theoretical"
+            and result.schedule.scenario.threshold_scale == 1.0
+        )
+        s3_applies = event.strong_tamper and (
+            event.localization_free
+            or result.schedule.scenario.strict_localization
+        )
+        if (s3_applies and outcome.flagged and adjudication_honest
+                and not outcome.proposer_slashed):
+            out.append(InvariantViolation(
+                "safety", "S3",
+                f"flagged strong tamper escaped the honest challenger "
+                f"(kind={event.kind}, victim={event.victim}, "
+                f"status={outcome.status}, path={outcome.dispute_path})",
+                event.index,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+
+def _check_liveness(result: "SimulationResult") -> List[InvariantViolation]:
+    out: List[InvariantViolation] = []
+    for outcome in result.outcomes:
+        if outcome.status not in TERMINAL_STATUSES:
+            out.append(InvariantViolation(
+                "liveness", "L1",
+                f"request ended in non-terminal status {outcome.status!r}",
+                outcome.event.index,
+            ))
+    coordinator = result.service.coordinator
+    for task in coordinator.tasks.values():
+        if task.status is TaskStatus.PENDING or task.status is TaskStatus.DISPUTED:
+            out.append(InvariantViolation(
+                "liveness", "L1",
+                f"coordinator task {task.task_id} left in {task.status.value!r}",
+            ))
+    for dispute in coordinator.disputes.values():
+        if dispute.phase.value != "resolved":
+            out.append(InvariantViolation(
+                "liveness", "L1",
+                f"dispute {dispute.dispute_id} left in phase "
+                f"{dispute.phase.value!r}",
+            ))
+    for outcome in result.outcomes:
+        if outcome.rejected and outcome.challenged:
+            out.append(InvariantViolation(
+                "liveness", "L2",
+                "rejected request reached the coordinator",
+                outcome.event.index,
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Conservation
+# ----------------------------------------------------------------------
+
+def _check_conservation(result: "SimulationResult") -> List[InvariantViolation]:
+    out: List[InvariantViolation] = []
+    chain = result.service.coordinator.chain
+    total = sum(chain.balances.values())
+    if total != chain.minted:
+        out.append(InvariantViolation(
+            "conservation", "C1",
+            f"balances sum to {total!r} but {chain.minted!r} was minted",
+        ))
+    for account, balance in chain.balances.items():
+        if balance < 0:
+            out.append(InvariantViolation(
+                "conservation", "C3",
+                f"account {account!r} has negative balance {balance!r}",
+            ))
+    coordinator = result.service.coordinator
+    tagged = 0
+    for dispute_id in coordinator.disputes:
+        tagged += coordinator.dispute_gas(dispute_id)
+    untagged = sum(
+        tx.gas_used for tx in chain.transactions
+        if tx.details.get("dispute_id") is None
+    )
+    total_gas = chain.total_gas()
+    if tagged + untagged != total_gas:
+        out.append(InvariantViolation(
+            "conservation", "C2",
+            f"gas partition mismatch: {tagged} dispute-tagged + {untagged} "
+            f"untagged != {total_gas} total",
+        ))
+    return out
+
+
+def summarize_outcomes(outcomes: List[EventOutcome]) -> Dict[str, int]:
+    """Small status histogram used by reports and tests."""
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    return counts

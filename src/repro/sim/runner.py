@@ -1,0 +1,244 @@
+"""Execute scenario schedules against the real protocol stack.
+
+The runner owns *zero* protocol logic: every event is turned into actors
+built from :mod:`repro.protocol.roles` (via the fault wrappers in
+:mod:`repro.sim.faults`) and submitted to an ordinary
+:class:`~repro.protocol.service.TAOService` over a fresh coordinator and
+chain.  What comes back — coordinator statuses, dispute outcomes, the
+transaction log, the ledger — is handed to the invariant checker untouched.
+
+Workload preparation (tracing + cross-device calibration) is the expensive
+part, so :func:`prepare_workload` memoizes it per model name and shares one
+:class:`~repro.merkle.cache.HashCache` across every scenario of a workload
+(the committed weights are the same arrays, so their digests are computed
+once for hundreds of scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.calibration.calibrator import CalibrationConfig, Calibrator
+from repro.calibration.thresholds import ThresholdTable
+from repro.graph.graph import GraphModule
+from repro.merkle.cache import HashCache
+from repro.protocol.coordinator import Coordinator
+from repro.protocol.roles import HonestProposer, Proposer
+from repro.protocol.service import TAOService
+from repro.sim.faults import (
+    ColludingCommitteeMember,
+    SimChallenger,
+    SimProposer,
+    StaleTraceProposer,
+    make_fault_overrides,
+)
+from repro.sim.invariants import (
+    EventOutcome,
+    InvariantViolation,
+    check_invariants,
+)
+from repro.sim.scenario import RequestEvent, Scenario, ScenarioSchedule, expand
+from repro.tensorlib.device import DEVICE_FLEET
+from repro.utils.rng import derive_seed
+
+#: Lateness of a ``late_move`` challenger per round: well inside the default
+#: 600 s round timeout even with a busy multiplexed cycle interleaved.
+LATE_MOVE_DELAY_S = 120.0
+
+#: A dropped move stalls past any round timeout.
+DROPPED_MOVE_DELAY_S = 1e9
+
+
+@dataclass
+class SimWorkload:
+    """One prepared workload: traced graph, thresholds, input sampler."""
+
+    name: str
+    graph: GraphModule
+    thresholds: ThresholdTable
+    sample_inputs: Callable[[int], Dict[str, np.ndarray]]
+    hash_cache: HashCache = field(default_factory=HashCache)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one scenario run produced, ready for invariant checking."""
+
+    schedule: ScenarioSchedule
+    service: TAOService
+    outcomes: List[EventOutcome]
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+_WORKLOADS: Dict[str, SimWorkload] = {}
+
+
+def prepare_workload(model_name: str, calibration_samples: int = 12,
+                     seed: int = 17) -> SimWorkload:
+    """Trace + calibrate one zoo model once per process (memoized)."""
+    key = f"{model_name}/{calibration_samples}/{seed}"
+    if key in _WORKLOADS:
+        return _WORKLOADS[key]
+    from repro.models import get_model_spec
+
+    spec = get_model_spec(model_name)
+    module = spec.build_module()
+    graph = spec.trace(module, batch_size=1, seed=seed)
+    calibrator = Calibrator(CalibrationConfig(devices=DEVICE_FLEET))
+    calibration = calibrator.calibrate(
+        graph, spec.dataset(module, calibration_samples, seed=seed, batch_size=1)
+    )
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=3.0)
+    workload = SimWorkload(
+        name=model_name,
+        graph=graph,
+        thresholds=thresholds,
+        sample_inputs=lambda s, _m=module, _sp=spec: _sp.sample_inputs(_m, 1, s),
+    )
+    _WORKLOADS[key] = workload
+    return workload
+
+
+def run_scenario(scenario: Scenario, workload: SimWorkload) -> SimulationResult:
+    """Expand and run one scenario; invariants are checked on the way out."""
+    return run_schedule(expand(scenario, workload.graph, workload.thresholds),
+                        workload)
+
+
+def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> SimulationResult:
+    """Execute an (already expanded) schedule against a fresh service."""
+    scenario = schedule.scenario
+    service = _build_service(scenario, workload)
+    session = service.model(workload.graph.name).session
+
+    request_ids: Dict[int, int] = {}
+    honest_results: Dict[int, object] = {}
+    for cycle in schedule.cycles:
+        for event in cycle:
+            proposer = _build_proposer(event, scenario, workload, session,
+                                       honest_results)
+            challenger = _build_challenger(event, scenario, workload, service)
+            request_ids[event.index] = service.submit(
+                workload.graph.name,
+                workload.sample_inputs(event.input_seed),
+                proposer=proposer,
+                force_challenge=event.force_challenge,
+                challenger=challenger,
+            )
+        service.process()
+
+    outcomes = [
+        _outcome_for(event, service.request(request_ids[event.index]), service)
+        for event in schedule.events
+    ]
+    result = SimulationResult(schedule=schedule, service=service, outcomes=outcomes)
+    result.violations = check_invariants(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Actor construction
+# ----------------------------------------------------------------------
+
+def _build_service(scenario: Scenario, workload: SimWorkload) -> TAOService:
+    service = TAOService(
+        coordinator=Coordinator(),
+        n_way=scenario.n_way,
+        leaf_path=scenario.leaf_path,
+        committee_size=scenario.committee_size,
+        hash_cache=workload.hash_cache,
+    )
+    session_kwargs = {}
+    if scenario.colluding_committee:
+        # A majority of the committee is bought; the last seat stays honest.
+        majority = (scenario.committee_size // 2) + 1
+
+        def factory(i, device, _majority=majority):
+            if i < _majority:
+                return ColludingCommitteeMember(f"colluder-{i}", device)
+            from repro.protocol.roles import CommitteeMember
+            return CommitteeMember(f"committee-{i}", device)
+
+        session_kwargs["committee_factory"] = factory
+    thresholds = workload.thresholds
+    if scenario.threshold_scale != 1.0:
+        thresholds = thresholds.scaled(scenario.threshold_scale)
+    service.register_model(workload.graph, threshold_table=thresholds,
+                           **session_kwargs)
+    return service
+
+
+def _build_proposer(event: RequestEvent, scenario: Scenario,
+                    workload: SimWorkload, session,
+                    honest_results: Dict[int, object]) -> Optional[Proposer]:
+    """The proposer actor for one event (None = service default honest path)."""
+    chain = session.coordinator.chain
+    name = f"sim-proposer-{event.index}"
+    if event.kind == "honest":
+        return None
+    if event.kind == "device_drift":
+        chain.fund(name, session.initial_balance)
+        return HonestProposer(name, DEVICE_FLEET[event.drift_device % len(DEVICE_FLEET)],
+                              hash_cache=workload.hash_cache)
+    if event.kind == "stale_trace":
+        # index-0 events never expand to stale_trace, so a decoy exists.
+        source = honest_results.get(event.decoy_seed)
+        if source is None:
+            scout = HonestProposer(f"{name}-scout", DEVICE_FLEET[0],
+                                   hash_cache=workload.hash_cache)
+            source = scout.execute(workload.graph, session.model_commitment,
+                                   workload.sample_inputs(event.decoy_seed))
+            honest_results[event.decoy_seed] = source
+        chain.fund(name, session.initial_balance)
+        return StaleTraceProposer(name, DEVICE_FLEET[0], source,
+                                  hash_cache=workload.hash_cache)
+    overrides = make_fault_overrides(
+        event.kind, workload.graph, workload.thresholds,
+        event.victim, event.magnitude,
+        derive_seed(event.fault_seed, "fault", event.index),
+    )
+    delay = DROPPED_MOVE_DELAY_S if event.kind == "drop_partition" else 0.0
+    chain.fund(name, session.initial_balance)
+    return SimProposer(name, DEVICE_FLEET[0], overrides,
+                       hash_cache=workload.hash_cache, partition_delay_s=delay)
+
+
+def _build_challenger(event: RequestEvent, scenario: Scenario,
+                      workload: SimWorkload, service: TAOService):
+    """The per-request challenger override (None = service default)."""
+    if event.kind not in ("drop_selection", "late_move"):
+        return None
+    delay = DROPPED_MOVE_DELAY_S if event.kind == "drop_selection" \
+        else LATE_MOVE_DELAY_S
+    session = service.model(workload.graph.name).session
+    name = f"sim-challenger-{event.index}"
+    service.coordinator.chain.fund(name, session.initial_balance)
+    return SimChallenger(name, session.devices[-1], session.thresholds,
+                         hash_cache=workload.hash_cache, selection_delay_s=delay)
+
+
+def _outcome_for(event: RequestEvent, request, service: TAOService) -> EventOutcome:
+    report = request.report
+    flagged = bool(report is not None
+                   and any(r.exceeded for r in report.verification_reports))
+    dispute_path = None
+    if report is not None and report.dispute is not None:
+        record = service.coordinator.disputes.get(report.dispute.dispute_id)
+        dispute_path = record.adjudication_path if record is not None else None
+    return EventOutcome(
+        event=event,
+        status=request.status,
+        flagged=flagged,
+        challenged=bool(report is not None and report.challenged),
+        proposer_slashed=(request.status == "proposer_slashed"),
+        finalized=(request.status == "finalized"),
+        rejected=(request.status == "rejected"),
+        dispute_path=dispute_path,
+    )

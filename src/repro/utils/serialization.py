@@ -9,6 +9,22 @@ and any bit flip changes the hash.
 
 ``canonical_json`` provides a deterministic JSON encoding (sorted keys, no
 whitespace) used for operator signatures and protocol metadata.
+
+``decode_canonical`` inverts ``canonical_bytes``: any payload the encoder
+accepts round-trips bit-exactly (arrays come back C-contiguous
+little-endian, tuples come back as lists, dict keys as strings — the
+canonical normal forms the encoder maps them to).  The decoder is strict in
+the full sense a hash-binding protocol needs: it accepts *only* byte
+strings the encoder itself could have produced.  Trailing bytes, truncated
+segments, unknown tags, non-canonical ndarray headers (reordered JSON
+keys, wrong strides, big-endian dtypes), non-canonical scalar JSON and
+unsorted or duplicated map keys all raise ``ValueError`` — so accepted
+bytes are uniquely identified by their canonical hash
+(``canonical_bytes(decode_canonical(data)) == data``).  One corollary: a
+dict with non-string keys encodes (sorted by its *original* keys) but its
+encoding is rejected by the decoder whenever that order differs from the
+lexicographic order of the stringified keys — such payloads cannot
+round-trip, and the protocol only binds string-keyed maps.
 """
 
 from __future__ import annotations
@@ -84,6 +100,141 @@ def canonical_bytes(value: Any) -> bytes:
     if isinstance(value, (np.integer, np.floating, np.bool_)):
         return canonical_bytes(value.item())
     raise TypeError(f"cannot canonically serialize value of type {type(value)!r}")
+
+
+def decode_canonical(data: bytes) -> Any:
+    """Inverse of :func:`canonical_bytes` (strict: rejects malformed input)."""
+    value, offset = _decode(memoryview(data), 0)
+    if offset != len(data):
+        raise ValueError(f"trailing bytes after canonical payload at offset {offset}")
+    return value
+
+
+def _read(buf: memoryview, offset: int, count: int) -> memoryview:
+    if offset + count > len(buf):
+        raise ValueError("truncated canonical payload")
+    return buf[offset:offset + count]
+
+
+def _read_length(buf: memoryview, offset: int) -> int:
+    return int.from_bytes(bytes(_read(buf, offset, 8)), "big")
+
+
+def _decode(buf: memoryview, offset: int):
+    for tag in (b"NDARRAY\x00", b"SCALAR\x00", b"BYTES\x00", b"SEQ\x00", b"MAP\x00"):
+        if bytes(_read(buf, offset, min(len(tag), len(buf) - offset))) == tag:
+            return _DECODERS[tag](buf, offset + len(tag))
+    raise ValueError("unknown canonical tag")
+
+
+def _decode_ndarray(buf: memoryview, offset: int):
+    header_len = _read_length(buf, offset)
+    offset += 8
+    header_bytes = bytes(_read(buf, offset, header_len))
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed ndarray header: {exc}") from None
+    offset += header_len
+    if not isinstance(header, dict) or header.get("kind") != "ndarray":
+        raise ValueError("malformed ndarray header")
+    try:
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(dim) for dim in header["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed ndarray header: {exc}") from None
+    if any(dim < 0 for dim in shape):
+        raise ValueError("malformed ndarray header: negative dimension")
+    if dtype.byteorder == ">":
+        raise ValueError("non-canonical ndarray header: big-endian dtype")
+    # Canonicality: the header must be byte-identical to what the encoder
+    # writes for this (dtype, shape) — same key order, separators and the
+    # C-order strides of the contiguous buffer.  Otherwise distinct byte
+    # strings would alias one payload and hashes would no longer bind.
+    empty = np.empty(shape, dtype=dtype)
+    expected = json.dumps(
+        {
+            "kind": "ndarray",
+            "dtype": str(dtype),
+            "shape": list(shape),
+            "strides": list(empty.strides),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if header_bytes != expected:
+        raise ValueError("non-canonical ndarray header")
+    nbytes = empty.size * dtype.itemsize
+    raw = bytes(_read(buf, offset, nbytes))
+    offset += nbytes
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy(), offset
+
+
+def _decode_scalar(buf: memoryview, offset: int):
+    # The scalar segment extends to the end of its enclosing frame (at the
+    # top level or inside SEQ/MAP frames the segment length is explicit).
+    raw = bytes(buf[offset:])
+    try:
+        value = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed scalar payload: {exc}") from None
+    # Canonicality: only the exact encoding canonical_json produces.
+    if raw.decode("utf-8") != canonical_json(value):
+        raise ValueError("non-canonical scalar payload")
+    return value, len(buf)
+
+
+def _decode_bytes(buf: memoryview, offset: int):
+    return bytes(buf[offset:]), len(buf)
+
+
+def _decode_seq(buf: memoryview, offset: int):
+    count = _read_length(buf, offset)
+    offset += 8
+    items = []
+    for _ in range(count):
+        part_len = _read_length(buf, offset)
+        offset += 8
+        part = _read(buf, offset, part_len)
+        item, consumed = _decode(part, 0)
+        if consumed != part_len:
+            raise ValueError("sequence element has trailing bytes")
+        items.append(item)
+        offset += part_len
+    return items, offset
+
+
+def _decode_map(buf: memoryview, offset: int):
+    count = _read_length(buf, offset)
+    offset += 8
+    out = {}
+    previous_key = None
+    for _ in range(count):
+        key_len = _read_length(buf, offset)
+        offset += 8
+        key = bytes(_read(buf, offset, key_len)).decode("utf-8")
+        offset += key_len
+        if previous_key is not None and not key > previous_key:
+            raise ValueError("non-canonical map: keys not strictly sorted")
+        previous_key = key
+        val_len = _read_length(buf, offset)
+        offset += 8
+        part = _read(buf, offset, val_len)
+        value, consumed = _decode(part, 0)
+        if consumed != val_len:
+            raise ValueError("map value has trailing bytes")
+        out[key] = value
+        offset += val_len
+    return out, offset
+
+
+_DECODERS = {
+    b"NDARRAY\x00": _decode_ndarray,
+    b"SCALAR\x00": _decode_scalar,
+    b"BYTES\x00": _decode_bytes,
+    b"SEQ\x00": _decode_seq,
+    b"MAP\x00": _decode_map,
+}
 
 
 def canonical_json(value: Any) -> str:

@@ -124,6 +124,103 @@ def test_batched_execution_matches_sequential(model_name):
         assert got.flops.total == pytest.approx(expected.flops.total, rel=1e-6)
 
 
+#: A third profile (deep split-K tree) never covered by PARITY_DEVICES.
+THIRD_DEVICE = DEVICE_FLEET[3]
+
+
+def assert_batch_matches_sequential(engine, graph, requests, model_name):
+    batched = engine.run_batch(graph, requests, record=True, count_flops=True)
+    sequential = [engine.run(graph, req, record=True, count_flops=True)
+                  for req in requests]
+    assert len(batched) == len(sequential)
+    for got, expected in zip(batched, sequential):
+        assert got.output_names == expected.output_names
+        assert set(got.values) == set(expected.values)
+        for node_name, reference in expected.values.items():
+            value = np.asarray(got.values[node_name])
+            reference = np.asarray(reference)
+            assert value.shape == reference.shape, f"{model_name}:{node_name}"
+            assert value.dtype == reference.dtype, f"{model_name}:{node_name}"
+            assert value.tobytes() == reference.tobytes(), (
+                f"{model_name}: batched value for {node_name!r} diverges"
+            )
+        assert got.flops.total == pytest.approx(expected.flops.total, rel=1e-6)
+
+
+@pytest.mark.parametrize("model_name", available_models())
+def test_run_batch_ragged_dtype_signature_falls_back(model_name):
+    """A request with widened input dtypes makes the signature ragged.
+
+    Stacking is impossible (the trailing signatures disagree), so run_batch
+    must fall back to sequential execution — and the fallback must be
+    bit-identical to per-request run() calls, on a third device profile the
+    regular parity matrix never exercises.
+    """
+    spec, module, graph, _ = traced_model(model_name)
+    normal = spec.sample_inputs(module, 1, seed=300)
+    widened = {
+        name: (value.astype(np.int32) if value.dtype.kind == "i"
+               else value.astype(np.float64))
+        for name, value in spec.sample_inputs(module, 1, seed=301).items()
+    }
+    requests = [normal, widened, spec.sample_inputs(module, 1, seed=302)]
+    engine = ExecutionEngine(THIRD_DEVICE)
+    assert_batch_matches_sequential(engine, graph, requests, model_name)
+    assert not engine.last_batch_stacked, (
+        "ragged dtype signatures must not take the stacked path"
+    )
+
+
+@pytest.mark.parametrize("model_name", ["resnet_mini", "resnet_deep"])
+def test_run_batch_mixed_batch_sizes_parity_on_third_device(model_name):
+    """Unequal leading batch sizes: parity must hold whichever path runs.
+
+    (The conv kernels' reduction tiling is not batch-bit-stable, so these
+    graphs fail certification and take the fallback — the point is that the
+    observable results are identical either way.)
+    """
+    spec, module, graph, _ = traced_model(model_name)
+    requests = [spec.sample_inputs(module, b, seed=310 + b) for b in (1, 2, 3)]
+    engine = ExecutionEngine(THIRD_DEVICE)
+    assert_batch_matches_sequential(engine, graph, requests, model_name)
+
+
+def test_run_batch_mixed_batch_sizes_stack_on_third_device(mlp_graph):
+    """A certified-stackable graph stacks ragged batch sizes bit-exactly.
+
+    The MLP is batch-polymorphic down to the reduction tiling, so unequal
+    leading sizes (4/2/6 rows) concatenate into one stacked pass whose
+    per-request slices — and proportionally attributed FLOPs — must match
+    sequential execution exactly, on the third device profile.
+    """
+    rng = np.random.default_rng(17)
+    requests = [
+        {"x": rng.standard_normal((batch, 32)).astype(np.float32)}
+        for batch in (4, 2, 6)
+    ]
+    engine = ExecutionEngine(THIRD_DEVICE)
+    assert_batch_matches_sequential(engine, mlp_graph, requests, "tiny_mlp")
+    assert engine.last_batch_stacked, (
+        "the batch-polymorphic MLP should certify and stack ragged batch sizes"
+    )
+
+
+def test_run_batch_spatially_ragged_shapes_fall_back():
+    """Same dtype, different spatial trailing shape: fallback, bit-exact."""
+    spec, module, graph, _ = traced_model("resnet_mini")
+    rng = np.random.default_rng(5)
+    channels = module.config.in_channels
+    side = module.config.image_size
+    requests = [
+        spec.sample_inputs(module, 1, seed=320),
+        {"images": rng.standard_normal((1, channels, side - 8, side - 8)
+                                       ).astype(np.float32)},
+    ]
+    engine = ExecutionEngine(THIRD_DEVICE)
+    assert_batch_matches_sequential(engine, graph, requests, "resnet_mini")
+    assert not engine.last_batch_stacked
+
+
 def test_streaming_tensor_hash_matches_canonical_bytes():
     """hash_tensor streams canon(z) into SHA-256 without changing digests."""
     rng = np.random.default_rng(0)

@@ -67,7 +67,10 @@ def test_dispute_statistics_accounting(mlp_graph, mlp_thresholds, commitment, ml
                                                 mlp_inputs, proposer)
     stats = outcome.statistics
     assert stats.rounds == len(stats.per_round)
-    assert stats.merkle_checks == sum(r.merkle_checks for r in stats.per_round)
+    # Per-round proof checks plus the input-binding hash check at open
+    # (one per graph input).
+    assert stats.merkle_checks == \
+        len(result.inputs) + sum(r.merkle_checks for r in stats.per_round)
     assert stats.gas_used > 0
     assert stats.dcr_flops > 0
     assert 0.0 < stats.cost_ratio(result.forward_flops) < 20.0

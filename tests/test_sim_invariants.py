@@ -1,0 +1,332 @@
+"""Adversarial protocol simulator: randomized scenarios + invariant checking.
+
+This file is the executable form of the protocol's robustness claims:
+
+* 200+ randomized, seeded scenarios (mixed honest/faulty actor schedules
+  over the tiny MLP and all four zoo workloads) must uphold every safety,
+  liveness and conservation invariant;
+* targeted scenarios pin each fault model's expected resolution path
+  (input-binding fraud proofs, timeout slashing, committee collusion
+  escapes, drift tolerance);
+* the invariant checker itself is validated: a deliberately broken
+  threshold table (the canary) must be caught by the safety family and
+  shrunk to a minimal one-event schedule, and tampering with a finished
+  run's ledger/tasks must trip the conservation and liveness families.
+
+Every scenario is deterministic given its seed, so the whole suite is
+bit-for-bit repeatable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.calibration import CalibrationConfig, Calibrator, ThresholdTable
+from repro.protocol.coordinator import TaskStatus
+from repro.sim import (
+    FAULT_KINDS,
+    InvariantViolation,
+    Scenario,
+    SimWorkload,
+    check_invariants,
+    emit_regression_test,
+    expand,
+    prepare_workload,
+    run_scenario,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.tensorlib import DEVICE_FLEET
+
+ZOO_WORKLOADS = ("resnet_mini", "bert_mini", "qwen_mini", "diffusion_mini")
+BURSTS = ("uniform", "trickle", "front")
+LEAF_PATHS = ("routed", "committee", "theoretical")
+
+#: Module-level accounting asserted by the closing summary test.
+RUN_STATS = {
+    "scenarios": 0,
+    "kinds": Counter(),
+    "workloads": set(),
+    "statuses": Counter(),
+    #: Sweep tests that ran to completion; the summary only asserts the
+    #: acceptance bar when the full campaign demonstrably ran (partial
+    #: -k selections / xdist shards skip instead of failing spuriously).
+    "completed_sweeps": set(),
+}
+
+CAMPAIGN_SWEEPS = {"mlp"} | set(ZOO_WORKLOADS)
+
+
+def _record(result) -> None:
+    RUN_STATS["scenarios"] += 1
+    RUN_STATS["workloads"].add(result.schedule.scenario.model)
+    for event in result.schedule.events:
+        RUN_STATS["kinds"][event.kind] += 1
+    for outcome in result.outcomes:
+        RUN_STATS["statuses"][outcome.status] += 1
+
+
+def _assert_clean(result) -> None:
+    assert not result.violations, "\n".join(str(v) for v in result.violations)
+
+
+@pytest.fixture(scope="module")
+def sim_mlp_workload(mlp_graph, mlp_input_factory):
+    """The tiny-MLP workload calibrated richly enough for dispute replays.
+
+    The shared 6-sample threshold fixture leaves low-percentile envelopes at
+    zero for sparse activations (gelu/relu), which floor-clamps their ratio
+    checks and makes the *selection rule* trip false positives on fresh
+    inputs.  12 samples (the benchmark harness default) populates them.
+    """
+    calibrator = Calibrator(CalibrationConfig(devices=DEVICE_FLEET))
+    calibration = calibrator.calibrate(
+        mlp_graph, [mlp_input_factory(1000 + i) for i in range(12)]
+    )
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=3.0)
+    return SimWorkload(
+        name="tiny_mlp",
+        graph=mlp_graph,
+        thresholds=thresholds,
+        sample_inputs=lambda seed: mlp_input_factory(seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Randomized scenario sweeps (the 200+ scenario acceptance bar)
+# ----------------------------------------------------------------------
+
+def test_randomized_mlp_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """140 seeded scenarios over the MLP: mixed bursts, n-ways, leaf paths."""
+    for seed in range(140):
+        scenario = Scenario(
+            name=f"mlp-{seed}",
+            seed=seed,
+            model="tiny_mlp",
+            num_requests=5 + seed % 4,
+            burst=BURSTS[seed % 3],
+            n_way=2 + (seed % 3),
+            leaf_path=LEAF_PATHS[seed % 3],
+            # The 7-operator MLP has calibrated thresholds at every cut
+            # point and no attenuating nonlinearity between them, so the
+            # strong safety check S3 is enforced for every flagged tamper.
+            strict_localization=True,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+    RUN_STATS["completed_sweeps"].add("mlp")
+
+
+@pytest.mark.parametrize("model_name", ZOO_WORKLOADS)
+def test_randomized_zoo_scenarios_uphold_all_invariants(model_name):
+    """16 seeded scenarios per zoo workload (all four paper workloads)."""
+    workload = prepare_workload(model_name)
+    for seed in range(16):
+        scenario = Scenario(
+            name=f"{model_name}-{seed}",
+            seed=1000 + seed,
+            model=model_name,
+            num_requests=3,
+            fault_rate=0.5,
+            burst=BURSTS[seed % 3],
+        )
+        result = run_scenario(scenario, workload)
+        _assert_clean(result)
+        _record(result)
+    RUN_STATS["completed_sweeps"].add(model_name)
+
+
+def test_colluding_committee_scenarios(sim_mlp_workload):
+    """A bought committee majority lets localized cheats escape the leaf.
+
+    Safety's strong form (S3) is conditioned on an honest majority, so the
+    run must be invariant-clean — but the flagged cheats must visibly end in
+    ``challenger_slashed`` (never ``finalized``: S2 is unconditional).
+    """
+    escaped = 0
+    for seed in range(4):
+        scenario = Scenario(
+            name=f"collusion-{seed}",
+            seed=500 + seed,
+            model="tiny_mlp",
+            num_requests=5,
+            fault_rate=0.6,
+            fault_kinds=("colluding_committee",),
+            leaf_path="committee",
+            colluding_committee=True,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        for outcome in result.outcomes:
+            if outcome.event.kind == "colluding_committee" and outcome.flagged:
+                assert outcome.status == TaskStatus.CHALLENGER_SLASHED.value
+                assert not outcome.finalized
+                escaped += 1
+    assert escaped > 0, "collusion scenarios never exercised the leaf escape"
+
+
+# ----------------------------------------------------------------------
+# Targeted fault-path pins
+# ----------------------------------------------------------------------
+
+def test_stale_trace_settled_by_input_binding_fraud(sim_mlp_workload):
+    """A replayed trace is caught by the H(x) binding check, not a game."""
+    scenario = Scenario(
+        name="stale-pin", seed=42, model="tiny_mlp", num_requests=4,
+        fault_rate=1.0, fault_kinds=("stale_trace",), force_challenge_rate=0.0,
+    )
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    stale = [o for o in result.outcomes if o.event.kind == "stale_trace"]
+    assert stale, "expansion scheduled no stale_trace events"
+    for outcome in stale:
+        assert outcome.status == TaskStatus.PROPOSER_SLASHED.value
+        assert outcome.dispute_path == "input_binding"
+
+
+def test_dropped_moves_resolve_by_timeout(sim_mlp_workload):
+    """Dropped partition => proposer slashed; dropped selection => challenger."""
+    dropped_partitions = dropped_selections = 0
+    for seed in range(6):
+        scenario = Scenario(
+            name=f"drops-{seed}", seed=900 + seed, model="tiny_mlp",
+            num_requests=4, fault_rate=0.9, force_challenge_rate=0.0,
+            fault_kinds=("drop_partition", "drop_selection"),
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        for outcome in result.outcomes:
+            if not outcome.flagged:
+                continue
+            if outcome.event.kind == "drop_partition":
+                assert outcome.status == TaskStatus.PROPOSER_SLASHED.value
+                dropped_partitions += 1
+            elif outcome.event.kind == "drop_selection":
+                assert outcome.status == TaskStatus.CHALLENGER_SLASHED.value
+                dropped_selections += 1
+    assert dropped_partitions > 0 and dropped_selections > 0
+
+
+def test_device_drift_is_tolerated(sim_mlp_workload):
+    """An honest proposer drifting across the calibrated fleet finalizes."""
+    scenario = Scenario(
+        name="drift-pin", seed=7, model="tiny_mlp", num_requests=6,
+        fault_rate=1.0, fault_kinds=("device_drift",), force_challenge_rate=0.0,
+    )
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    for outcome in result.outcomes:
+        assert outcome.event.kind == "device_drift"
+        assert outcome.status == TaskStatus.FINALIZED.value
+
+
+# ----------------------------------------------------------------------
+# The checker itself: canary + tamper detection per family
+# ----------------------------------------------------------------------
+
+def test_canary_broken_thresholds_caught_and_shrunk(sim_mlp_workload):
+    """Zero thresholds slash honest proposers: S1 fires, ddmin shrinks to 1.
+
+    This is the sanity canary for the whole harness: if the safety family
+    ever stops catching a deliberately broken protocol, this test fails.
+    """
+    canary = Scenario(
+        name="canary", seed=13, model="tiny_mlp", num_requests=8,
+        fault_rate=0.0, force_challenge_rate=0.0, leaf_path="committee",
+        threshold_scale=0.0,
+    )
+    schedule = expand(canary, sim_mlp_workload.graph, sim_mlp_workload.thresholds)
+    result = run_schedule(schedule, sim_mlp_workload)
+    assert result.violations, "broken thresholds were not caught"
+    assert all(v.family == "safety" and v.rule == "S1" for v in result.violations)
+
+    shrunk = shrink_schedule(schedule, sim_mlp_workload)
+    assert shrunk.original_events == 8
+    assert shrunk.minimal_events == 1, (
+        f"expected a 1-minimal counterexample, got {shrunk.minimal_events} events"
+    )
+    assert any(v.rule == "S1" for v in shrunk.violations)
+
+    emitted = emit_regression_test(
+        shrunk, workload_expr="sim_mlp_workload", test_name="test_shrunk_canary")
+    assert "def test_shrunk_canary()" in emitted
+    assert "RequestEvent(" in emitted
+    assert "run_schedule" in emitted
+    assert "threshold_scale=0.0" in emitted
+    compile(emitted, "<shrunk-regression>", "exec")  # paste-ready = parseable
+
+
+def test_conservation_family_detects_ledger_tampering(sim_mlp_workload):
+    """Minting out of thin air / burning into the void trips C1."""
+    scenario = Scenario(name="ledger", seed=3, model="tiny_mlp", num_requests=3,
+                        fault_rate=0.0, force_challenge_rate=0.0)
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    chain = result.service.coordinator.chain
+    chain.balances["thief"] = chain.balances.get("thief", 0.0) + 1.0
+    violations = check_invariants(result)
+    assert any(v.rule == "C1" for v in violations)
+    chain.balances["thief"] -= 2.0
+    violations = check_invariants(result)
+    assert any(v.rule == "C3" for v in violations)
+
+
+def test_liveness_family_detects_stuck_tasks(sim_mlp_workload):
+    """A task forced back to PENDING after the drain trips L1."""
+    scenario = Scenario(name="stuck", seed=4, model="tiny_mlp", num_requests=3,
+                        fault_rate=0.0, force_challenge_rate=0.0)
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    task = next(iter(result.service.coordinator.tasks.values()))
+    task.status = TaskStatus.PENDING
+    violations = check_invariants(result)
+    assert any(v.family == "liveness" and v.rule == "L1" for v in violations)
+
+
+def test_gas_partition_exactness_under_multiplexing(sim_mlp_workload):
+    """C2 on a dispute-heavy run: tagged + untagged gas == total gas."""
+    scenario = Scenario(name="gasful", seed=21, model="tiny_mlp",
+                        num_requests=8, fault_rate=0.7,
+                        fault_kinds=("bit_flip", "wrong_weight"))
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    coordinator = result.service.coordinator
+    assert len(coordinator.disputes) >= 2, "scenario opened too few disputes"
+    tagged = sum(coordinator.dispute_gas(d) for d in coordinator.disputes)
+    untagged = sum(tx.gas_used for tx in coordinator.chain.transactions
+                   if tx.details.get("dispute_id") is None)
+    assert tagged + untagged == coordinator.chain.total_gas()
+
+
+# ----------------------------------------------------------------------
+# Closing summary: the acceptance bar
+# ----------------------------------------------------------------------
+
+def test_simulation_campaign_meets_acceptance_bar():
+    """>= 200 scenarios, >= 6 fault models, all four zoo workloads."""
+    if RUN_STATS["completed_sweeps"] != CAMPAIGN_SWEEPS:
+        pytest.skip("campaign sweeps were deselected or sharded; "
+                    f"ran {sorted(RUN_STATS['completed_sweeps'])}")
+    assert RUN_STATS["scenarios"] >= 200, RUN_STATS["scenarios"]
+    fault_kinds_exercised = {
+        kind for kind, count in RUN_STATS["kinds"].items()
+        if kind != "honest" and count > 0
+    }
+    assert len(fault_kinds_exercised) >= 6, sorted(fault_kinds_exercised)
+    assert fault_kinds_exercised <= set(FAULT_KINDS)
+    assert set(ZOO_WORKLOADS) <= RUN_STATS["workloads"]
+    # Every terminal status was reached somewhere in the campaign.
+    for status in (TaskStatus.FINALIZED.value, TaskStatus.PROPOSER_SLASHED.value,
+                   TaskStatus.CHALLENGER_SLASHED.value):
+        assert RUN_STATS["statuses"][status] > 0, RUN_STATS["statuses"]

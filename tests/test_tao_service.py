@@ -198,6 +198,65 @@ def test_large_drain_exceeding_challenge_window_blocks(service, mlp_input_factor
     assert service.request(forced).status == TaskStatus.CHALLENGER_SLASHED.value
 
 
+def test_interleaved_dispute_gas_accounting_is_exact(service, mlp_graph,
+                                                     mlp_thresholds,
+                                                     mlp_input_factory):
+    """Per-dispute gas under 3+ multiplexed disputes matches isolated runs.
+
+    Pins the ``dispute_id``-filtered accounting path: (1) each multiplexed
+    dispute's gas equals the gas of the identical dispute run alone in a
+    fresh session (same perturbation, same inputs, same action sequence);
+    (2) the per-dispute numbers partition the dispute-tagged portion of the
+    shared chain exactly, with nothing double-counted or dropped.
+    """
+    session = service.model("tiny_mlp").session
+    # (A uniform additive delta on the pre-softmax logits would be softmax-
+    # invariant, so the victims sit before nonlinearities that expose it.)
+    victims = ["layer_norm", "gelu", "relu"]
+    cheat_ids = []
+    for i, victim in enumerate(victims):
+        adv = session.make_adversarial_proposer(
+            f"gas-cheater-{i}", {victim: np.float32(0.05)})
+        cheat_ids.append(service.submit("tiny_mlp", mlp_input_factory(700 + i),
+                                        proposer=adv))
+        service.submit("tiny_mlp", mlp_input_factory(720 + i))  # honest filler
+    service.process()
+
+    multiplexed_gas = {}
+    for request_id, victim in zip(cheat_ids, victims):
+        report = service.request(request_id).report
+        assert report.dispute is not None
+        assert report.dispute.localized_operator == victim
+        dispute_id = report.dispute.dispute_id
+        gas = service.coordinator.dispute_gas(dispute_id)
+        assert gas == report.dispute.statistics.gas_used
+        # Filtering by dispute_id must agree with a manual scan of the log.
+        manual = sum(tx.gas_used for tx in service.coordinator.chain.transactions
+                     if tx.details.get("dispute_id") == dispute_id)
+        assert gas == manual
+        multiplexed_gas[victim] = gas
+
+    # The tagged transactions partition: no gas is shared between disputes,
+    # none is dropped (honest fillers may open false-positive disputes of
+    # their own — they are part of the partition too).
+    all_tagged = sum(tx.gas_used for tx in service.coordinator.chain.transactions
+                     if tx.details.get("dispute_id") is not None)
+    per_dispute = {d: service.coordinator.dispute_gas(d)
+                   for d in service.coordinator.disputes}
+    assert sum(per_dispute.values()) == all_tagged
+    assert len(per_dispute) >= 3
+
+    # Isolated reference runs reproduce the multiplexed numbers exactly.
+    for i, victim in enumerate(victims):
+        reference = TAOSession(mlp_graph, threshold_table=mlp_thresholds, n_way=2)
+        reference.setup()
+        proposer = reference.make_adversarial_proposer(
+            f"ref-cheater-{i}", {victim: np.float32(0.05)})
+        report = reference.run_request(mlp_input_factory(700 + i), proposer)
+        assert report.dispute is not None
+        assert report.dispute.statistics.gas_used == multiplexed_gas[victim], victim
+
+
 def test_every_request_is_a_coordinator_task(service, mlp_input_factory):
     """Request/task bijection: fees and windows are accounted per request."""
     ids = [service.submit("tiny_mlp", mlp_input_factory(200 + i)) for i in range(5)]
