@@ -1,0 +1,211 @@
+"""Cluster scaling: throughput vs shard count, and routing locality.
+
+Two questions, answered on the cached MLP serving workload (16 tenant
+replicas of a small classifier head, each serving a stream of repeated
+payloads at steady state):
+
+1. **Scaling** — fleet throughput at 1/2/4/8 shards.  Shards drain
+   concurrently, one worker each, so the fleet's service time is its
+   *critical path*: the maximum per-shard worker busy time (what a
+   deployment with one core per shard worker observes; per-shard busy time
+   is genuinely measured, per shard, on this host).  The acceptance gate is
+   >= 2x parallel throughput at 4 shards vs 1 shard.  The measured
+   single-host wall-clock is reported alongside: on a multi-core host the
+   thread pool realizes the parallel number; on a single-core host (such as
+   most CI containers) it cannot exceed 1x by physics, and the table says
+   so rather than pretending otherwise.
+
+2. **Locality** — consistent-hash routing pins each tenant (and therefore
+   its content-addressed result cache, engine plan and batch certificate)
+   to one shard.  The baseline replicates tenants and sprays requests
+   uniformly at random: every shard must then warm its own cache per
+   payload, so the fleet-wide hit rate collapses.  The gap is the
+   measurable value of routing by commitment digest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.calibration import CalibrationConfig, Calibrator, ThresholdTable
+from repro.cluster import TAOCluster
+from repro.graph import Module, Parameter, trace_module
+from repro.graph import functional as F
+from repro.tensorlib import DEVICE_FLEET
+
+from benchmarks.reporting import emit_table
+
+NUM_TENANTS = 16
+DISTINCT_PAYLOADS = 4
+REPEATS = 3  # requests per payload -> 12 requests per tenant
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+class ServingHead(Module):
+    """The small MLP classifier head used by the service benchmark."""
+
+    def __init__(self, d_in: int = 32, d_hidden: int = 48, d_out: int = 6,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.ln_w = Parameter(np.ones(d_in))
+        self.ln_b = Parameter(np.zeros(d_in))
+        self.w1 = Parameter(rng.standard_normal((d_hidden, d_in)) * 0.1)
+        self.b1 = Parameter(np.zeros(d_hidden))
+        self.w2 = Parameter(rng.standard_normal((d_hidden, d_hidden)) * 0.1)
+        self.b2 = Parameter(np.zeros(d_hidden))
+        self.w3 = Parameter(rng.standard_normal((d_out, d_hidden)) * 0.1)
+        self.b3 = Parameter(np.zeros(d_out))
+
+    def forward(self, x):
+        x = F.layer_norm(x, self.ln_w, self.ln_b)
+        h = F.gelu(F.linear(x, self.w1, self.b1))
+        h = F.relu(F.linear(h, self.w2, self.b2))
+        return F.softmax(F.linear(h, self.w3, self.b3), axis=-1)
+
+
+def _payload(seed: int) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal((4, 32)).astype(np.float32)}
+
+
+def _workload():
+    """16 tenant graphs over one checkpoint + one calibrated threshold table."""
+    module = ServingHead()
+    graphs = [trace_module(module, _payload(0), name=f"mlp_head_{i}")
+              for i in range(NUM_TENANTS)]
+    calibrator = Calibrator(CalibrationConfig(devices=DEVICE_FLEET))
+    calibration = calibrator.calibrate(
+        graphs[0], [_payload(1000 + i) for i in range(12)])
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=6.0)
+    return graphs, thresholds
+
+
+def _stream(tenant: int) -> List[Dict[str, np.ndarray]]:
+    """12 requests per tenant: 4 distinct payloads, each repeated 3x."""
+    return [_payload(500 + tenant * DISTINCT_PAYLOADS + index % DISTINCT_PAYLOADS)
+            for index in range(DISTINCT_PAYLOADS * REPEATS)]
+
+
+def _build_cluster(graphs, thresholds, num_shards: int,
+                   routing: str = "hash") -> TAOCluster:
+    cluster = TAOCluster(num_shards=num_shards, routing=routing)
+    for graph in graphs:
+        cluster.register_model(graph, threshold_table=thresholds)
+    return cluster
+
+
+def _drive(cluster: TAOCluster, graphs) -> Dict[str, float]:
+    """Warm up, then measure one full fleet stream at steady state."""
+    for graph in graphs:  # absorbs plan compilation + batch certification
+        cluster.submit_many(graph.name, [_payload(1), _payload(2)])
+    cluster.process()
+
+    busy_before = {sid: shard.busy_s for sid, shard in cluster.shards.items()}
+    wall_before = cluster.measured_wall_s
+    completed_before = cluster.stats().requests_completed
+
+    for graph_index, graph in enumerate(graphs):
+        cluster.submit_many(graph.name, _stream(graph_index))
+    processed = cluster.process()
+    for request in processed:
+        assert request.status == "finalized", request.status
+
+    stats = cluster.stats()
+    completed = stats.requests_completed - completed_before
+    busy = {sid: shard.busy_s - busy_before[sid]
+            for sid, shard in cluster.shards.items()}
+    critical = max(busy.values())
+    wall = cluster.measured_wall_s - wall_before
+    return {
+        "completed": completed,
+        "wall_s": wall,
+        "critical_s": critical,
+        "parallel_rps": completed / critical,
+        "measured_rps": completed / wall,
+        "cache_hits": stats.cache_hits,
+        "tenants_per_shard": sorted(
+            (len(shard.service.model_names) for shard in cluster.shards.values()),
+            reverse=True),
+    }
+
+
+def test_cluster_scaling(benchmark):
+    graphs, thresholds = _workload()
+
+    def run():
+        scaling = {}
+        for num_shards in SHARD_COUNTS:
+            cluster = _build_cluster(graphs, thresholds, num_shards)
+            scaling[num_shards] = _drive(cluster, graphs)
+
+        # Locality: identical fleet + stream, hash routing vs random spray.
+        locality = {}
+        for routing in ("hash", "random"):
+            cluster = _build_cluster(graphs, thresholds, 4, routing=routing)
+            total = NUM_TENANTS * DISTINCT_PAYLOADS * REPEATS
+            hits_before = cluster.stats().cache_hits
+            for graph_index, graph in enumerate(graphs):
+                cluster.submit_many(graph.name, _stream(graph_index))
+            cluster.process()
+            hits = cluster.stats().cache_hits - hits_before
+            locality[routing] = {"hits": hits, "total": total,
+                                 "hit_rate": hits / total}
+        return scaling, locality
+
+    scaling, locality = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = scaling[1]
+    emit_table(
+        "cluster_scaling",
+        "TAOCluster throughput vs shard count "
+        f"({NUM_TENANTS} tenants x {DISTINCT_PAYLOADS * REPEATS} requests, "
+        "cached MLP workload)",
+        ["shards", "critical path (s)", "parallel rps", "speedup vs 1 shard",
+         "measured wall (s)", "measured rps", "tenants per shard"],
+        [[num_shards, r["critical_s"], r["parallel_rps"],
+          r["parallel_rps"] / base["parallel_rps"],
+          r["wall_s"], r["measured_rps"], str(r["tenants_per_shard"])]
+         for num_shards, r in scaling.items()],
+        notes=("Shards drain concurrently (one worker each); the fleet's service "
+               "time is the critical path max(per-shard worker busy time), "
+               "where busy time is each worker's measured thread CPU time — "
+               "the shard's own demand, independent of how many cores this "
+               "host has.  'parallel rps' is completed/critical-path: the "
+               "fleet throughput with one core per shard worker, which is the "
+               "deployment the cluster models.  'measured rps' is this host's "
+               "thread-pool wall clock; on a single-core container it cannot "
+               "exceed the 1-shard number and is reported for honesty, not "
+               "gated.  Tenant placement is by consistent hash of the model "
+               "commitment digest (64 vnodes/shard)."),
+    )
+    emit_table(
+        "cluster_scaling_locality",
+        "Result-cache hit rate: consistent-hash routing vs random spray "
+        "(4 shards)",
+        ["routing", "cache hits", "requests", "hit rate"],
+        [[routing, r["hits"], r["total"], r["hit_rate"]]
+         for routing, r in locality.items()],
+        notes=("Each tenant's stream repeats 4 payloads 3x.  Hash routing keeps "
+               "a tenant's content-addressed result cache on one shard, so "
+               "every repeat after the first execution hits.  Random routing "
+               "replicates tenants and sprays requests, so each shard must "
+               "re-execute payloads the fleet has already verified."),
+    )
+
+    # Acceptance gate: >= 2x parallel throughput at 4 shards vs 1 shard.
+    assert scaling[4]["parallel_rps"] >= 2.0 * base["parallel_rps"], scaling
+    # Monotone scaling out to 8 shards (no placement collapse).
+    assert scaling[8]["parallel_rps"] > scaling[2]["parallel_rps"], scaling
+    # The thread pool must not pathologically regress single-host wall time.
+    assert scaling[4]["measured_rps"] >= 0.5 * base["measured_rps"], scaling
+    # Every deployment served the whole fleet stream.
+    for r in scaling.values():
+        assert r["completed"] == NUM_TENANTS * DISTINCT_PAYLOADS * REPEATS
+
+    # Routing locality: hash routing's hit rate clearly beats random spray.
+    assert locality["hash"]["hit_rate"] >= 0.6
+    assert locality["hash"]["hit_rate"] >= locality["random"]["hit_rate"] + 0.2

@@ -23,7 +23,10 @@ The package provides the full TAO stack built from scratch on NumPy:
   measurement and standalone verification helpers;
 * :mod:`repro.sim` — the adversarial protocol simulator: seedable
   multi-actor fault injection with safety / liveness / conservation
-  invariant checking and counterexample shrinking.
+  invariant checking and counterexample shrinking;
+* :mod:`repro.cluster` — the sharded serving tier: consistent-hash tenant
+  routing, concurrent shard workers over one settlement chain, failover
+  re-dispatch — bit-identical to a single service by construction.
 
 Quickstart::
 
@@ -41,6 +44,7 @@ Quickstart::
 
 from repro.bounds import BoundInterpreter, BoundMode
 from repro.calibration import Calibrator, CalibrationConfig, ThresholdTable
+from repro.cluster import ConsistentHashRing, TAOCluster
 from repro.engine import ExecutionEngine, ExecutionPlan
 from repro.graph import GraphModule, Interpreter, Module, Parameter, Tracer, trace_module
 from repro.merkle import HashCache, MerkleTree, commit_model
@@ -79,9 +83,11 @@ __all__ = [
     "available_models",
     "build_model",
     "get_model_spec",
+    "ConsistentHashRing",
     "Coordinator",
     "DisputeGame",
     "EconomicParameters",
+    "TAOCluster",
     "TAOService",
     "TAOSession",
     "analyze_incentives",

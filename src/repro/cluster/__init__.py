@@ -1,0 +1,36 @@
+"""Sharded serving: consistent-hash routing, shard workers, failover.
+
+``repro.cluster`` scales the single-process
+:class:`~repro.protocol.service.TAOService` horizontally while keeping the
+protocol's observable behaviour bit-identical:
+
+* :mod:`repro.cluster.ring` — deterministic consistent-hash ring (virtual
+  nodes, drain support, next-node failover rule, minimal-migration resize);
+* :mod:`repro.cluster.shard` — one shard: a full ``TAOService`` over a
+  per-shard chain view, behind a worker lock;
+* :mod:`repro.cluster.cluster` — :class:`TAOCluster`: tenant routing by
+  model commitment digest, concurrent shard draining, failover with
+  re-dispatch and scoped result-cache invalidation, fleet-wide settlement.
+"""
+
+from repro.cluster.cluster import (
+    ClusterError,
+    ClusterModel,
+    ClusterRequest,
+    ClusterStats,
+    TAOCluster,
+)
+from repro.cluster.ring import ConsistentHashRing, RingError, key_position
+from repro.cluster.shard import Shard
+
+__all__ = [
+    "ClusterError",
+    "ClusterModel",
+    "ClusterRequest",
+    "ClusterStats",
+    "ConsistentHashRing",
+    "RingError",
+    "Shard",
+    "TAOCluster",
+    "key_position",
+]

@@ -1,0 +1,48 @@
+"""One cluster shard: a full TAOService behind a worker lock.
+
+A shard is not a reduced replica — it is an ordinary
+:class:`~repro.protocol.service.TAOService` (its own
+:class:`~repro.protocol.coordinator.Coordinator`, queue, tenants, result
+caches) whose chain is a :class:`~repro.protocol.chain.ShardChainView` over
+the cluster's shared settlement chain.  The cluster's worker pool drains
+shards concurrently; ``lock`` serializes a shard's own processing (one
+worker per shard at a time), and ``busy_s`` accumulates the worker's
+measured processing time — the per-shard critical-path clock the scaling
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.protocol.chain import ShardChainView
+from repro.protocol.service import TAOService
+
+
+@dataclass
+class Shard:
+    """A shard's service, chain view and worker bookkeeping."""
+
+    shard_id: str
+    service: TAOService
+    chain_view: ShardChainView
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Administratively drained: routing skips it, tenants migrated away.
+    drained: bool = False
+    #: Cumulative worker busy time (thread CPU seconds) across every
+    #: process() drain of this shard.  Shards drain concurrently, so the
+    #: fleet's critical path is ``max`` over shards — the service time a
+    #: one-core-per-shard-worker deployment would observe, measured
+    #: independently of how many cores this host happens to have.
+    busy_s: float = 0.0
+    #: Requests this shard brought to a terminal status.
+    processed: int = 0
+
+    @property
+    def model_names(self):
+        return self.service.model_names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (f"Shard({self.shard_id!r}, models={self.service.model_names}, "
+                f"drained={self.drained}, processed={self.processed})")

@@ -26,6 +26,7 @@ commitments over large activations hash with zero extra copies.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -50,6 +51,15 @@ class HashCache:
     object, so recycled ``id()`` values can never alias.  The memo is an LRU
     bounded by ``max_tensors`` entries to keep long-lived services from
     pinning every activation they ever hashed.
+
+    The cache is **thread-safe**: one instance is shared by every shard
+    worker of a :class:`~repro.cluster.cluster.TAOCluster` (the committed
+    weights are the same arrays fleet-wide, so their digests are computed
+    once).  A lock serializes the LRU bookkeeping — ``move_to_end`` /
+    ``popitem`` on a shared ``OrderedDict`` corrupt its linked list under
+    concurrent mutation — while digests themselves are computed outside the
+    lock (two threads racing on the same uncached array both compute the
+    same digest; the second store is a harmless overwrite).
     """
 
     def __init__(self, max_tensors: int = 8192) -> None:
@@ -58,6 +68,7 @@ class HashCache:
         self._model_commitments: Dict[Tuple[int, int, str], Tuple[Any, Any, Any]] = {}
         self.tensor_hits = 0
         self.tensor_misses = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Tensor digests
@@ -66,17 +77,19 @@ class HashCache:
     def hash_tensor(self, value: np.ndarray) -> bytes:
         arr = np.asarray(value)
         key = id(arr)
-        entry = self._tensors.get(key)
-        if entry is not None and entry[0] is arr:
-            self.tensor_hits += 1
-            self._tensors.move_to_end(key)
-            return entry[1]
-        self.tensor_misses += 1
+        with self._lock:
+            entry = self._tensors.get(key)
+            if entry is not None and entry[0] is arr:
+                self.tensor_hits += 1
+                self._tensors.move_to_end(key)
+                return entry[1]
+            self.tensor_misses += 1
         digest = streaming_tensor_hash(arr)
-        self._tensors[key] = (arr, digest)
-        self._tensors.move_to_end(key)
-        while len(self._tensors) > self.max_tensors:
-            self._tensors.popitem(last=False)
+        with self._lock:
+            self._tensors[key] = (arr, digest)
+            self._tensors.move_to_end(key)
+            while len(self._tensors) > self.max_tensors:
+                self._tensors.popitem(last=False)
         return digest
 
     # ------------------------------------------------------------------
@@ -91,7 +104,8 @@ class HashCache:
         via :meth:`store_model_commitment`.
         """
         key = self._model_key(graph_module, threshold_table, metadata)
-        entry = self._model_commitments.get(key)
+        with self._lock:
+            entry = self._model_commitments.get(key)
         if entry is None:
             return None
         held_graph, held_table, commitment = entry
@@ -102,7 +116,8 @@ class HashCache:
     def store_model_commitment(self, graph_module, threshold_table,
                                metadata: Optional[Dict[str, object]], commitment) -> None:
         key = self._model_key(graph_module, threshold_table, metadata)
-        self._model_commitments[key] = (graph_module, threshold_table, commitment)
+        with self._lock:
+            self._model_commitments[key] = (graph_module, threshold_table, commitment)
 
     @staticmethod
     def _model_key(graph_module, threshold_table,

@@ -8,7 +8,7 @@ economic/incentive model, and an analytic zkML cost baseline used for the
 Sec. 6.3 comparison.
 """
 
-from repro.protocol.chain import GasSchedule, SimulatedChain, Transaction
+from repro.protocol.chain import GasSchedule, ShardChainView, SimulatedChain, Transaction
 from repro.protocol.coordinator import (
     Coordinator,
     CoordinatorError,
@@ -51,10 +51,11 @@ from repro.protocol.multistep import (
 )
 from repro.protocol.zk_baseline import ZkProverModel, ZkCostEstimate, compare_with_tao
 from repro.protocol.lifecycle import TAOSession, SessionReport
-from repro.protocol.service import ServiceRequest, ServiceStats, TAOService
+from repro.protocol.service import ServiceCore, ServiceRequest, ServiceStats, TAOService
 
 __all__ = [
     "GasSchedule",
+    "ShardChainView",
     "SimulatedChain",
     "Transaction",
     "Coordinator",
@@ -94,6 +95,7 @@ __all__ = [
     "compare_with_tao",
     "TAOSession",
     "SessionReport",
+    "ServiceCore",
     "ServiceRequest",
     "ServiceStats",
     "TAOService",

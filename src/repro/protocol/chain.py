@@ -13,10 +13,22 @@ The gas schedule follows Ethereum's fee rules where they matter for the
 accounting (21k base per transaction, 16 gas per non-zero calldata byte) plus
 per-action execution surcharges tuned so that a typical 11-13 round dispute
 lands near the paper's ~2M gas figure.
+
+**Sharding.**  A :class:`~repro.cluster.cluster.TAOCluster` settles every
+shard on one chain: balances, the minted total and the transaction log are
+shared fleet-wide (appends and transfers are serialized by an internal lock,
+so concurrent shard workers never corrupt the ledger), while each shard holds
+a :class:`ShardChainView` with its **own block clock**.  Protocol time is a
+per-shard notion — one shard advancing past its challenge windows must never
+lapse another shard's still-open windows — so views advance independently and
+stamp every transaction they append with their shard id, which is what makes
+per-shard gas attribution (:meth:`SimulatedChain.gas_by_shard`) and exact
+per-dispute gas accounting across shards possible.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -68,6 +80,8 @@ class Transaction:
     gas_used: int
     payload_bytes: int
     details: Dict[str, object] = field(default_factory=dict)
+    #: Shard whose chain view appended this transaction (None outside clusters).
+    shard: Optional[str] = None
 
 
 class SimulatedChain:
@@ -86,6 +100,12 @@ class SimulatedChain:
         #: satisfy ``sum(balances.values()) == minted`` — the conservation
         #: invariant the protocol simulator checks after every scenario.
         self.minted = 0.0
+        #: Shard tag stamped on this chain's own transactions; None for a
+        #: standalone chain, set on :class:`ShardChainView` instances.
+        self.shard_id: Optional[str] = None
+        #: Serializes ledger mutation (balances/minted/log append) so that
+        #: concurrent shard workers settling on one chain stay exact.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Time
@@ -110,8 +130,9 @@ class SimulatedChain:
     def fund(self, account: str, amount: float) -> None:
         if amount < 0:
             raise ValueError("cannot fund a negative amount")
-        self.balances[account] = self.balances.get(account, 0.0) + float(amount)
-        self.minted += float(amount)
+        with self._lock:
+            self.balances[account] = self.balances.get(account, 0.0) + float(amount)
+            self.minted += float(amount)
 
     def balance(self, account: str) -> float:
         return self.balances.get(account, 0.0)
@@ -119,37 +140,54 @@ class SimulatedChain:
     def transfer(self, source: str, destination: str, amount: float) -> None:
         if amount < 0:
             raise ValueError("cannot transfer a negative amount")
-        if self.balances.get(source, 0.0) < amount - 1e-12:
-            raise ValueError(
-                f"insufficient balance: {source} has {self.balances.get(source, 0.0)}, "
-                f"needs {amount}"
-            )
-        self.balances[source] = self.balances.get(source, 0.0) - amount
-        self.balances[destination] = self.balances.get(destination, 0.0) + amount
+        with self._lock:
+            if self.balances.get(source, 0.0) < amount - 1e-12:
+                raise ValueError(
+                    f"insufficient balance: {source} has {self.balances.get(source, 0.0)}, "
+                    f"needs {amount}"
+                )
+            self.balances[source] = self.balances.get(source, 0.0) - amount
+            self.balances[destination] = self.balances.get(destination, 0.0) + amount
 
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
 
+    def _append(self, clock, sender: str, action: str,
+                payload_bytes: int, storage_writes: int, merkle_checks: int,
+                details: Optional[Dict[str, object]]) -> Transaction:
+        """Build and append one transaction, stamped with ``clock``'s time.
+
+        Shared by the chain itself and every :class:`ShardChainView` over it
+        (``clock`` is whichever of the two is submitting), so the gas
+        costing, transaction shape and one-block-per-transaction rule exist
+        exactly once.
+        """
+        gas = self.gas_schedule.cost(action, payload_bytes, storage_writes,
+                                     merkle_checks)
+        with self._lock:
+            tx = Transaction(
+                index=len(self.transactions),
+                block=clock.block_number,
+                timestamp=clock.timestamp,
+                sender=sender,
+                action=action,
+                gas_used=gas,
+                payload_bytes=int(payload_bytes),
+                details=dict(details or {}),
+                shard=clock.shard_id,
+            )
+            self.transactions.append(tx)
+        # Every transaction lands in a (new) block to keep timeouts simple.
+        clock.advance_blocks(1)
+        return tx
+
     def submit(self, sender: str, action: str, payload_bytes: int = 0,
                storage_writes: int = 1, merkle_checks: int = 0,
                details: Optional[Dict[str, object]] = None) -> Transaction:
         """Record a transaction; returns the logged entry with its gas cost."""
-        gas = self.gas_schedule.cost(action, payload_bytes, storage_writes, merkle_checks)
-        tx = Transaction(
-            index=len(self.transactions),
-            block=self.block_number,
-            timestamp=self.timestamp,
-            sender=sender,
-            action=action,
-            gas_used=gas,
-            payload_bytes=int(payload_bytes),
-            details=dict(details or {}),
-        )
-        self.transactions.append(tx)
-        # Every transaction lands in a (new) block to keep timeouts simple.
-        self.advance_blocks(1)
-        return tx
+        return self._append(self, sender, action, payload_bytes,
+                            storage_writes, merkle_checks, details)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -168,3 +206,91 @@ class SimulatedChain:
         for tx in self.transactions[since_index:]:
             out[tx.action] = out.get(tx.action, 0) + tx.gas_used
         return out
+
+    def gas_by_shard(self, since_index: int = 0) -> Dict[Optional[str], int]:
+        """Total gas attributed per shard tag (None = non-cluster traffic)."""
+        out: Dict[Optional[str], int] = {}
+        for tx in self.transactions[since_index:]:
+            out[tx.shard] = out.get(tx.shard, 0) + tx.gas_used
+        return out
+
+
+class ShardChainView:
+    """One shard's clock over a shared settlement :class:`SimulatedChain`.
+
+    The view **shares** the parent's ledger — balances, minted total, gas
+    schedule and the global transaction log — and **owns** its block number
+    and timestamp.  Challenge windows and round timeouts are judged against
+    the owning shard's clock, so a shard advancing time past its own windows
+    (the finalization sweep at the end of a processing cycle) can never lapse
+    a sibling shard's still-open windows.  Every transaction appended through
+    the view is stamped with the shard id at the view's local block height.
+
+    The view quacks like a :class:`SimulatedChain` (same method surface), so
+    a :class:`~repro.protocol.coordinator.Coordinator` runs over it
+    unmodified.
+    """
+
+    def __init__(self, parent: SimulatedChain, shard_id: str) -> None:
+        self.parent = parent
+        self.shard_id = str(shard_id)
+        self.block_interval_s = parent.block_interval_s
+        self.block_number = 0
+        self.timestamp = 0.0
+
+    # -- shared ledger state (delegated) --------------------------------
+
+    @property
+    def gas_schedule(self) -> GasSchedule:
+        return self.parent.gas_schedule
+
+    @property
+    def balances(self) -> Dict[str, float]:
+        return self.parent.balances
+
+    @property
+    def minted(self) -> float:
+        return self.parent.minted
+
+    @property
+    def transactions(self) -> List[Transaction]:
+        return self.parent.transactions
+
+    def fund(self, account: str, amount: float) -> None:
+        self.parent.fund(account, amount)
+
+    def balance(self, account: str) -> float:
+        return self.parent.balance(account)
+
+    def transfer(self, source: str, destination: str, amount: float) -> None:
+        self.parent.transfer(source, destination, amount)
+
+    # -- per-shard protocol time (the chain's own rules, on this clock) ----
+
+    advance_blocks = SimulatedChain.advance_blocks
+    advance_time = SimulatedChain.advance_time
+
+    # -- transactions ------------------------------------------------------
+
+    def submit(self, sender: str, action: str, payload_bytes: int = 0,
+               storage_writes: int = 1, merkle_checks: int = 0,
+               details: Optional[Dict[str, object]] = None) -> Transaction:
+        """Append a shard-stamped transaction to the shared log."""
+        return self.parent._append(self, sender, action, payload_bytes,
+                                   storage_writes, merkle_checks, details)
+
+    # -- accounting (fleet-wide, delegated) --------------------------------
+
+    def total_gas(self, actions: Optional[List[str]] = None,
+                  since_index: int = 0) -> int:
+        return self.parent.total_gas(actions, since_index)
+
+    def gas_by_action(self, since_index: int = 0) -> Dict[str, int]:
+        return self.parent.gas_by_action(since_index)
+
+    def gas_by_shard(self, since_index: int = 0) -> Dict[Optional[str], int]:
+        return self.parent.gas_by_shard(since_index)
+
+    def shard_gas(self) -> int:
+        """Gas of this shard's own transactions."""
+        return self.gas_by_shard().get(self.shard_id, 0)

@@ -397,12 +397,16 @@ class Coordinator:
         details, so per-dispute accounting stays exact even when a service
         multiplexes several dispute games over the same chain (for a single
         sequential dispute this matches counting everything since
-        ``gas_start_index``, which is how the seed accounted it).
+        ``gas_start_index``, which is how the seed accounted it).  Dispute ids
+        are only unique per coordinator, and a cluster settles many
+        coordinators on one shared log, so the filter additionally matches the
+        shard tag this coordinator's chain (view) stamps on its transactions.
         """
         dispute = self.dispute(dispute_id)
+        own_shard = getattr(self.chain, "shard_id", None)
         return [
             tx for tx in self.chain.transactions[dispute.gas_start_index:]
-            if tx.details.get("dispute_id") == dispute_id
+            if tx.details.get("dispute_id") == dispute_id and tx.shard == own_shard
         ]
 
     def dispute_gas(self, dispute_id: int) -> int:

@@ -32,10 +32,21 @@ Request life cycle inside :meth:`TAOService.process`:
 
 Throughput/latency statistics are collected per request and aggregated in
 :meth:`TAOService.stats`.
+
+:class:`ServiceCore` is the front-end contract this module's request/verdict
+types travel through: both :class:`TAOService` (one queue, one coordinator)
+and :class:`~repro.cluster.cluster.TAOCluster` (N shards, each a full
+``TAOService``) implement it, so examples, benchmarks and the protocol
+simulator can drive either interchangeably.  :meth:`TAOService.withdraw_queued`,
+:meth:`TAOService.detach_model` and :meth:`TAOService.adopt_model` are the
+migration primitives the cluster's failover uses to move a tenant — session,
+standing roles, result cache and clone accounting intact — between shards
+without minting or forfeiting a single ledger unit.
 """
 
 from __future__ import annotations
 
+import abc
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -147,8 +158,69 @@ class ServiceStats:
             "status_counts": dict(self.status_counts),
         }
 
+    @classmethod
+    def aggregate(cls, parts: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Fleet-wide roll-up of per-shard statistics (sums and concatenation)."""
+        total = cls()
+        for part in parts:
+            total.requests_submitted += part.requests_submitted
+            total.requests_completed += part.requests_completed
+            total.cache_hits += part.cache_hits
+            total.batched_requests += part.batched_requests
+            total.disputes_opened += part.disputes_opened
+            total.dispute_rounds += part.dispute_rounds
+            total.processing_time_s += part.processing_time_s
+            total.latencies_s.extend(part.latencies_s)
+            for status, count in part.status_counts.items():
+                total.status_counts[status] = \
+                    total.status_counts.get(status, 0) + count
+        return total
 
-class TAOService:
+
+class ServiceCore(abc.ABC):
+    """The serving front-end contract shared by one service and a cluster.
+
+    Implementations accept the same request shapes, hand back the same
+    :class:`ServiceRequest`/:class:`~repro.protocol.lifecycle.SessionReport`
+    objects and account through :class:`ServiceStats`, so a caller written
+    against this interface (examples, benchmarks, the protocol simulator's
+    runner) is oblivious to whether one queue or a sharded fleet serves it.
+    """
+
+    @abc.abstractmethod
+    def register_model(self, graph_module: GraphModule,
+                       calibration_inputs: Optional[Iterable[Dict[str, np.ndarray]]] = None,
+                       threshold_table=None, **session_kwargs) -> TAOSession:
+        """Register one tenant model; returns its (home) session."""
+
+    @abc.abstractmethod
+    def model(self, name: str) -> "ModelEntry":
+        """The tenant entry currently serving ``name``."""
+
+    @abc.abstractmethod
+    def submit(self, model_name: str, inputs: Mapping[str, np.ndarray],
+               proposer: Optional[Proposer] = None, force_challenge: bool = False,
+               challenger: Optional[Challenger] = None) -> int:
+        """Enqueue one request; returns its request id."""
+
+    @abc.abstractmethod
+    def request(self, request_id: int) -> ServiceRequest:
+        """The (terminal or in-flight) record for one submitted request."""
+
+    @abc.abstractmethod
+    def process(self, max_requests: Optional[int] = None) -> List[ServiceRequest]:
+        """Drain (up to ``max_requests`` of) the queue to terminal statuses."""
+
+    @abc.abstractmethod
+    def stats(self) -> ServiceStats:
+        """Aggregate accounting for everything processed so far."""
+
+    def submit_many(self, model_name: str,
+                    inputs_list: Iterable[Mapping[str, np.ndarray]]) -> List[int]:
+        return [self.submit(model_name, inputs) for inputs in inputs_list]
+
+
+class TAOService(ServiceCore):
     """Multi-tenant, batching front end over the TAO protocol stack."""
 
     def __init__(
@@ -263,16 +335,70 @@ class TAOService:
         self.stats_record.requests_submitted += 1
         return request.request_id
 
-    def submit_many(self, model_name: str,
-                    inputs_list: Iterable[Mapping[str, np.ndarray]]) -> List[int]:
-        return [self.submit(model_name, inputs) for inputs in inputs_list]
-
     def request(self, request_id: int) -> ServiceRequest:
         return self._requests[request_id]
 
     @property
     def pending_count(self) -> int:
         return len(self._queue)
+
+    def withdraw_queued(self, model_name: str) -> List[ServiceRequest]:
+        """Pull this model's not-yet-processed requests out of the queue.
+
+        The failover path re-dispatches in-flight requests to a fallback
+        shard: withdrawn requests are marked terminal here (``withdrawn``)
+        and their payloads/actors are resubmitted elsewhere by the caller.
+        Requests already processed (terminal) are untouched.
+        """
+        withdrawn: List[ServiceRequest] = []
+        keep: Deque[int] = deque()
+        while self._queue:
+            request_id = self._queue.popleft()
+            request = self._requests[request_id]
+            if request.model_name == model_name:
+                request.status = "withdrawn"
+                withdrawn.append(request)
+            else:
+                keep.append(request_id)
+        self._queue = keep
+        return withdrawn
+
+    # ------------------------------------------------------------------
+    # Tenant migration (cluster failover / ring resize)
+    # ------------------------------------------------------------------
+
+    def detach_model(self, name: str) -> ModelEntry:
+        """Remove and return a tenant entry so another service can adopt it.
+
+        Queued requests must be withdrawn first (:meth:`withdraw_queued`);
+        detaching with work still queued would strand those requests.
+        """
+        entry = self.model(name)
+        if any(self._requests[rid].model_name == name for rid in self._queue):
+            raise RuntimeError(
+                f"model {name!r} still has queued requests; withdraw them first"
+            )
+        del self._models[name]
+        return entry
+
+    def adopt_model(self, entry: ModelEntry) -> None:
+        """Adopt a tenant entry migrated from another service.
+
+        The entry arrives whole — session, standing roles, result cache and
+        challenger-clone accounting — so no ledger account is re-funded: the
+        tenant's accounts simply continue on the shared settlement chain.
+        The committed model is registered with this service's coordinator if
+        it has never seen it (a gas-metered transaction, no balance
+        movement), and the session is re-pointed so future dispute games run
+        against this coordinator.
+        """
+        if entry.name in self._models:
+            raise ValueError(f"model {entry.name!r} is already registered here")
+        if entry.name not in self.coordinator.models:
+            self.coordinator.register_model(entry.session.model_commitment,
+                                            owner=f"{entry.name}-owner")
+        entry.session.coordinator = self.coordinator
+        self._models[entry.name] = entry
 
     # ------------------------------------------------------------------
     # Processing

@@ -33,6 +33,8 @@ from repro.sim.invariants import (
     InvariantViolation,
     assert_invariants,
     check_invariants,
+    service_coordinators,
+    settlement_chain,
     summarize_outcomes,
 )
 from repro.sim.runner import (
@@ -67,6 +69,8 @@ __all__ = [
     "InvariantViolation",
     "assert_invariants",
     "check_invariants",
+    "service_coordinators",
+    "settlement_chain",
     "summarize_outcomes",
     "SimWorkload",
     "SimulationResult",

@@ -29,6 +29,13 @@ The checker is deliberately *conditional*: each assertion states the actor
 assumptions under which the paper claims it (e.g. S3 assumes one honest
 challenger and an honest-majority committee), and the scenario schedule
 carries exactly those honesty bits per request.
+
+Every family is **fleet-aware**: when a scenario drives a
+:class:`~repro.cluster.cluster.TAOCluster`, liveness sweeps every shard
+coordinator (active and retired), and conservation is checked on the shared
+settlement chain — balances across all shards sum exactly to the total ever
+minted, and the per-dispute gas of every shard's coordinator partitions the
+dispute-tagged gas of the whole shared log.
 """
 
 from __future__ import annotations
@@ -48,6 +55,28 @@ TERMINAL_STATUSES = {
     TaskStatus.CHALLENGER_SLASHED.value,
     "rejected",
 }
+
+
+def service_coordinators(service) -> List:
+    """Every coordinator behind a serving front end.
+
+    A plain :class:`~repro.protocol.service.TAOService` has exactly one; a
+    :class:`~repro.cluster.cluster.TAOCluster` has one per shard (including
+    retired shards, whose history stays on the shared chain).  Duck-typed so
+    this module needs no cluster import.
+    """
+    coordinators = getattr(service, "coordinators", None)
+    if callable(coordinators):
+        return list(coordinators())
+    return [service.coordinator]
+
+
+def settlement_chain(service):
+    """The ledger a front end settles on (the shared chain for a cluster)."""
+    chain = getattr(service, "chain", None)
+    if chain is not None:
+        return chain
+    return service.coordinator.chain
 
 
 @dataclass(frozen=True)
@@ -171,20 +200,20 @@ def _check_liveness(result: "SimulationResult") -> List[InvariantViolation]:
                 f"request ended in non-terminal status {outcome.status!r}",
                 outcome.event.index,
             ))
-    coordinator = result.service.coordinator
-    for task in coordinator.tasks.values():
-        if task.status is TaskStatus.PENDING or task.status is TaskStatus.DISPUTED:
-            out.append(InvariantViolation(
-                "liveness", "L1",
-                f"coordinator task {task.task_id} left in {task.status.value!r}",
-            ))
-    for dispute in coordinator.disputes.values():
-        if dispute.phase.value != "resolved":
-            out.append(InvariantViolation(
-                "liveness", "L1",
-                f"dispute {dispute.dispute_id} left in phase "
-                f"{dispute.phase.value!r}",
-            ))
+    for coordinator in service_coordinators(result.service):
+        for task in coordinator.tasks.values():
+            if task.status is TaskStatus.PENDING or task.status is TaskStatus.DISPUTED:
+                out.append(InvariantViolation(
+                    "liveness", "L1",
+                    f"coordinator task {task.task_id} left in {task.status.value!r}",
+                ))
+        for dispute in coordinator.disputes.values():
+            if dispute.phase.value != "resolved":
+                out.append(InvariantViolation(
+                    "liveness", "L1",
+                    f"dispute {dispute.dispute_id} left in phase "
+                    f"{dispute.phase.value!r}",
+                ))
     for outcome in result.outcomes:
         if outcome.rejected and outcome.challenged:
             out.append(InvariantViolation(
@@ -201,7 +230,7 @@ def _check_liveness(result: "SimulationResult") -> List[InvariantViolation]:
 
 def _check_conservation(result: "SimulationResult") -> List[InvariantViolation]:
     out: List[InvariantViolation] = []
-    chain = result.service.coordinator.chain
+    chain = settlement_chain(result.service)
     total = sum(chain.balances.values())
     if total != chain.minted:
         out.append(InvariantViolation(
@@ -214,10 +243,12 @@ def _check_conservation(result: "SimulationResult") -> List[InvariantViolation]:
                 "conservation", "C3",
                 f"account {account!r} has negative balance {balance!r}",
             ))
-    coordinator = result.service.coordinator
+    # C2 fleet-wide: per-coordinator dispute gas (shard-filtered on a shared
+    # log) must partition every dispute-tagged transaction exactly.
     tagged = 0
-    for dispute_id in coordinator.disputes:
-        tagged += coordinator.dispute_gas(dispute_id)
+    for coordinator in service_coordinators(result.service):
+        for dispute_id in coordinator.disputes:
+            tagged += coordinator.dispute_gas(dispute_id)
     untagged = sum(
         tx.gas_used for tx in chain.transactions
         if tx.details.get("dispute_id") is None

@@ -4,8 +4,14 @@ The runner owns *zero* protocol logic: every event is turned into actors
 built from :mod:`repro.protocol.roles` (via the fault wrappers in
 :mod:`repro.sim.faults`) and submitted to an ordinary
 :class:`~repro.protocol.service.TAOService` over a fresh coordinator and
-chain.  What comes back — coordinator statuses, dispute outcomes, the
-transaction log, the ledger — is handed to the invariant checker untouched.
+chain — or, when the scenario sets ``num_shards`` > 1, to an ordinary
+:class:`~repro.cluster.cluster.TAOCluster` over a fresh shared settlement
+chain (both implement :class:`~repro.protocol.service.ServiceCore`, so the
+drive loop is identical).  ``drain_home_at_cycle`` injects a shard failover
+between a cycle's submissions and its drain, re-dispatching the in-flight
+events across shards.  What comes back — coordinator statuses, dispute
+outcomes, the transaction log, the ledger — is handed to the invariant
+checker untouched.
 
 Workload preparation (tracing + cross-device calibration) is the expensive
 part, so :func:`prepare_workload` memoizes it per model name and shares one
@@ -23,11 +29,12 @@ import numpy as np
 
 from repro.calibration.calibrator import CalibrationConfig, Calibrator
 from repro.calibration.thresholds import ThresholdTable
+from repro.cluster.cluster import TAOCluster
 from repro.graph.graph import GraphModule
 from repro.merkle.cache import HashCache
 from repro.protocol.coordinator import Coordinator
 from repro.protocol.roles import HonestProposer, Proposer
-from repro.protocol.service import TAOService
+from repro.protocol.service import ServiceCore, TAOService
 from repro.sim.faults import (
     ColludingCommitteeMember,
     SimChallenger,
@@ -39,6 +46,7 @@ from repro.sim.invariants import (
     EventOutcome,
     InvariantViolation,
     check_invariants,
+    service_coordinators,
 )
 from repro.sim.scenario import RequestEvent, Scenario, ScenarioSchedule, expand
 from repro.tensorlib.device import DEVICE_FLEET
@@ -68,7 +76,9 @@ class SimulationResult:
     """Everything one scenario run produced, ready for invariant checking."""
 
     schedule: ScenarioSchedule
-    service: TAOService
+    #: The serving front end the scenario drove: a plain TAOService or, for
+    #: ``num_shards`` > 1, a TAOCluster (invariants are checked fleet-wide).
+    service: ServiceCore
     outcomes: List[EventOutcome]
     violations: List[InvariantViolation] = field(default_factory=list)
 
@@ -120,7 +130,7 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
 
     request_ids: Dict[int, int] = {}
     honest_results: Dict[int, object] = {}
-    for cycle in schedule.cycles:
+    for cycle_index, cycle in enumerate(schedule.cycles):
         for event in cycle:
             proposer = _build_proposer(event, scenario, workload, session,
                                        honest_results)
@@ -132,6 +142,12 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
                 force_challenge=event.force_challenge,
                 challenger=challenger,
             )
+        if (scenario.drain_home_at_cycle == cycle_index
+                and isinstance(service, TAOCluster)):
+            # Failover under fire: the cycle's events are already queued on
+            # the home shard; draining it withdraws and re-dispatches them
+            # to the ring successor before they are processed.
+            service.drain_shard(service.location(workload.graph.name))
         service.process()
 
     outcomes = [
@@ -147,14 +163,23 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
 # Actor construction
 # ----------------------------------------------------------------------
 
-def _build_service(scenario: Scenario, workload: SimWorkload) -> TAOService:
-    service = TAOService(
-        coordinator=Coordinator(),
-        n_way=scenario.n_way,
-        leaf_path=scenario.leaf_path,
-        committee_size=scenario.committee_size,
-        hash_cache=workload.hash_cache,
-    )
+def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
+    if scenario.num_shards > 1:
+        service: ServiceCore = TAOCluster(
+            num_shards=scenario.num_shards,
+            n_way=scenario.n_way,
+            leaf_path=scenario.leaf_path,
+            committee_size=scenario.committee_size,
+            hash_cache=workload.hash_cache,
+        )
+    else:
+        service = TAOService(
+            coordinator=Coordinator(),
+            n_way=scenario.n_way,
+            leaf_path=scenario.leaf_path,
+            committee_size=scenario.committee_size,
+            hash_cache=workload.hash_cache,
+        )
     session_kwargs = {}
     if scenario.colluding_committee:
         # A majority of the committee is bought; the last seat stays honest.
@@ -211,7 +236,7 @@ def _build_proposer(event: RequestEvent, scenario: Scenario,
 
 
 def _build_challenger(event: RequestEvent, scenario: Scenario,
-                      workload: SimWorkload, service: TAOService):
+                      workload: SimWorkload, service: ServiceCore):
     """The per-request challenger override (None = service default)."""
     if event.kind not in ("drop_selection", "late_move"):
         return None
@@ -219,18 +244,32 @@ def _build_challenger(event: RequestEvent, scenario: Scenario,
         else LATE_MOVE_DELAY_S
     session = service.model(workload.graph.name).session
     name = f"sim-challenger-{event.index}"
-    service.coordinator.chain.fund(name, session.initial_balance)
+    session.coordinator.chain.fund(name, session.initial_balance)
     return SimChallenger(name, session.devices[-1], session.thresholds,
                          hash_cache=workload.hash_cache, selection_delay_s=delay)
 
 
-def _outcome_for(event: RequestEvent, request, service: TAOService) -> EventOutcome:
+def _dispute_record(service: ServiceCore, task):
+    """The DisputeRecord for a task, wherever its coordinator lives.
+
+    Dispute ids are per-coordinator, so the task's owning coordinator is
+    found first (the coordinator whose task table holds this exact record).
+    """
+    for coordinator in service_coordinators(service):
+        if coordinator.tasks.get(task.task_id) is task:
+            if task.dispute_id is None:
+                return None
+            return coordinator.disputes.get(task.dispute_id)
+    return None
+
+
+def _outcome_for(event: RequestEvent, request, service: ServiceCore) -> EventOutcome:
     report = request.report
     flagged = bool(report is not None
                    and any(r.exceeded for r in report.verification_reports))
     dispute_path = None
     if report is not None and report.dispute is not None:
-        record = service.coordinator.disputes.get(report.dispute.dispute_id)
+        record = _dispute_record(service, report.task)
         dispute_path = record.adjudication_path if record is not None else None
     return EventOutcome(
         event=event,

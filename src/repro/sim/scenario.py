@@ -78,6 +78,17 @@ class Scenario:
     #: Multiplier applied to the committed thresholds at registration; 1.0 is
     #: the calibrated table, 0.0 is the deliberately broken canary.
     threshold_scale: float = 1.0
+    #: Number of cluster shards the scenario targets; 1 keeps the plain
+    #: single-process :class:`~repro.protocol.service.TAOService` (the seed
+    #: path).  Values > 1 build a :class:`~repro.cluster.cluster.TAOCluster`
+    #: and the invariant families are checked fleet-wide.
+    num_shards: int = 1
+    #: When set (and ``num_shards`` > 1), the workload model's current home
+    #: shard is administratively drained right after this cycle's events are
+    #: submitted and before they are processed — so the cycle's in-flight
+    #: requests are withdrawn and re-dispatched to the ring's next node,
+    #: exercising failover under whatever faults the cycle carries.
+    drain_home_at_cycle: Optional[int] = None
     magnitudes: Tuple[Tuple[str, float], ...] = tuple(sorted(DEFAULT_MAGNITUDES.items()))
 
     def magnitude_for(self, kind: str) -> float:

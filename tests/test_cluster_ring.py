@@ -1,0 +1,152 @@
+"""Property tests for the consistent-hash ring (hypothesis).
+
+The ring is the placement oracle of the cluster, so its contract is pinned
+property-style over arbitrary membership histories:
+
+* **coverage** — while at least one live node exists, every key maps to a
+  live node (lookups never fail, never return a removed node);
+* **drain safety** — no key ever maps to a drained node, and undraining
+  restores the exact pre-drain mapping;
+* **minimal migration** — adding a node only moves keys *onto* the new
+  node; removing (or draining) a node only moves keys that were *on* it;
+  every other key's assignment is untouched.
+
+Determinism is asserted throughout: positions come from SHA-256, so an
+independently rebuilt ring with the same membership agrees bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ConsistentHashRing, RingError
+
+NODE_POOL = [f"shard-{i}" for i in range(8)]
+
+#: A batch of routing keys: commitment-digest-shaped byte strings.
+KEYS = st.lists(st.binary(min_size=4, max_size=40), min_size=1, max_size=40,
+                unique=True)
+
+#: Arbitrary membership scripts: (op, node-index) pairs applied in order.
+OPS = st.lists(
+    st.tuples(st.sampled_from(["add", "remove", "drain", "undrain"]),
+              st.integers(min_value=0, max_value=len(NODE_POOL) - 1)),
+    max_size=24,
+)
+
+
+def _apply(ring: ConsistentHashRing, ops) -> None:
+    """Apply a membership script, skipping ops invalid in the current state."""
+    for op, index in ops:
+        node = NODE_POOL[index]
+        try:
+            if op == "add":
+                ring.add_node(node)
+            elif op == "remove":
+                ring.remove_node(node)
+            elif op == "drain":
+                ring.drain(node)
+            else:
+                ring.undrain(node)
+        except RingError:
+            pass  # invalid in this state: duplicate add, unknown remove, ...
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, keys=KEYS)
+def test_total_coverage_and_no_drained_targets(ops, keys):
+    """Every key maps to a live, non-drained member — or lookups fail loudly."""
+    ring = ConsistentHashRing(["shard-0"], vnodes=16)
+    _apply(ring, ops)
+    live = set(ring.live_nodes)
+    if not live:
+        for key in keys:
+            with pytest.raises(RingError):
+                ring.node_for(key)
+        return
+    for key in keys:
+        owner = ring.node_for(key)
+        assert owner in live
+        assert not ring.is_drained(owner)
+    # Determinism: a rebuilt ring with identical membership agrees exactly.
+    rebuilt = ConsistentHashRing(sorted(ring.nodes), vnodes=16)
+    for node in ring.nodes:
+        if ring.is_drained(node):
+            rebuilt.drain(node)
+    assert rebuilt.assignments(keys) == ring.assignments(keys)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, keys=KEYS, joiner=st.integers(min_value=0,
+                                              max_value=len(NODE_POOL) - 1))
+def test_adding_a_node_moves_only_keys_it_wins(ops, keys, joiner):
+    ring = ConsistentHashRing(["shard-0"], vnodes=16)
+    _apply(ring, ops)
+    node = NODE_POOL[joiner]
+    if node in ring.nodes or not ring.live_nodes:
+        return
+    before = ring.assignments(keys)
+    ring.add_node(node)
+    after = ring.assignments(keys)
+    for key in keys:
+        if after[key] != before[key]:
+            assert after[key] == node, (
+                "resize moved a key to a node other than the one added"
+            )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, keys=KEYS)
+def test_removing_a_node_moves_only_its_own_keys(ops, keys):
+    ring = ConsistentHashRing(["shard-0"], vnodes=16)
+    _apply(ring, ops)
+    live = list(ring.live_nodes)
+    if len(live) < 2:
+        return
+    victim = live[0]
+    before = ring.assignments(keys)
+    ring.remove_node(victim)
+    after = ring.assignments(keys)
+    for key in keys:
+        if before[key] == victim:
+            assert after[key] != victim
+        else:
+            assert after[key] == before[key], (
+                "removal disturbed a key the removed node never owned"
+            )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, keys=KEYS)
+def test_drain_is_minimal_and_reversible(ops, keys):
+    ring = ConsistentHashRing(["shard-0"], vnodes=16)
+    _apply(ring, ops)
+    live = list(ring.live_nodes)
+    if len(live) < 2:
+        return
+    victim = live[0]
+    before = ring.assignments(keys)
+    ring.drain(victim)
+    during = ring.assignments(keys)
+    for key in keys:
+        assert during[key] != victim  # never route to a drained shard
+        if before[key] != victim:
+            assert during[key] == before[key]  # minimal disruption
+    ring.undrain(victim)
+    assert ring.assignments(keys) == before  # exact restoration
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=KEYS, excluded=st.integers(min_value=0, max_value=3))
+def test_successor_excludes_and_stays_live(keys, excluded):
+    """The failover next-node rule never lands on excluded or drained nodes."""
+    ring = ConsistentHashRing(NODE_POOL[:4], vnodes=16)
+    ring.drain(NODE_POOL[1])
+    avoid = NODE_POOL[excluded]
+    for key in keys:
+        target = ring.successor(key, exclude={avoid})
+        assert target != avoid
+        assert target != NODE_POOL[1]
+        assert target in ring.nodes

@@ -57,7 +57,7 @@ RUN_STATS = {
     "completed_sweeps": set(),
 }
 
-CAMPAIGN_SWEEPS = {"mlp"} | set(ZOO_WORKLOADS)
+CAMPAIGN_SWEEPS = {"mlp", "cluster"} | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -138,6 +138,84 @@ def test_randomized_zoo_scenarios_uphold_all_invariants(model_name):
         _assert_clean(result)
         _record(result)
     RUN_STATS["completed_sweeps"].add(model_name)
+
+
+def test_randomized_cluster_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """40 seeded scenarios against 2-4 shard TAOClusters, faults included.
+
+    The same fault kinds and invariant families as the single-service
+    campaign, but the front end is a sharded cluster settling on one chain —
+    liveness sweeps every shard coordinator, conservation and the gas
+    partition are checked fleet-wide.  Every fifth scenario drains the
+    model's home shard with a submitted cycle still queued, so the cycle's
+    events (faulty actors and all) are withdrawn and re-dispatched to the
+    ring successor before being processed.
+    """
+    failovers_exercised = 0
+    for seed in range(40):
+        drain = 1 if seed % 5 == 0 else None
+        scenario = Scenario(
+            name=f"cluster-{seed}",
+            seed=2000 + seed,
+            model="tiny_mlp",
+            num_requests=5 + seed % 3,
+            burst="front" if drain is not None else BURSTS[seed % 3],
+            n_way=2 + (seed % 3),
+            leaf_path=LEAF_PATHS[seed % 3],
+            strict_localization=True,
+            num_shards=2 + seed % 3,
+            drain_home_at_cycle=drain,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        if drain is not None:
+            assert result.service.failovers >= 1
+            failovers_exercised += 1
+    assert failovers_exercised == 8
+    RUN_STATS["completed_sweeps"].add("cluster")
+
+
+def test_cluster_failover_under_dispute(sim_mlp_workload):
+    """Failover while the re-dispatched cycle carries dispute-bound faults.
+
+    The drained cycle's events include strong tampers, so the fallback
+    shard inherits requests that immediately escalate to disputes — the
+    sharpest failover case: re-dispatched cheats must still be localized
+    and slashed on the new shard, and every invariant family must hold
+    fleet-wide.
+    """
+    scenario = Scenario(
+        name="cluster-failover-dispute", seed=77, model="tiny_mlp",
+        num_requests=6, fault_rate=0.9, force_challenge_rate=0.0,
+        fault_kinds=("bit_flip", "wrong_weight"), burst="front",
+        strict_localization=True, num_shards=3, drain_home_at_cycle=1,
+    )
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    cluster = result.service
+    assert cluster.failovers >= 1
+    assert cluster.redispatched_requests >= 1
+    # The drained shard serves nothing and the tenant moved off it.
+    drained = [sid for sid, shard in cluster.shards.items() if shard.drained]
+    assert len(drained) == 1
+    assert cluster.location("tiny_mlp") != drained[0]
+    # Re-dispatched tampers were caught on the fallback shard: disputes
+    # opened on more than zero of the cycle-1+ events, all slashed.
+    tampered = [o for o in result.outcomes
+                if o.event.strong_tamper and o.flagged]
+    assert tampered, "scenario scheduled no flagged strong tampers"
+    assert all(o.proposer_slashed for o in tampered)
+    # Fleet-wide gas partition: per-shard dispute gas tags are exact on the
+    # shared log (dispute ids collide across shards; shard tags resolve them).
+    from repro.sim import service_coordinators
+    tagged = sum(coordinator.dispute_gas(dispute_id)
+                 for coordinator in service_coordinators(cluster)
+                 for dispute_id in coordinator.disputes)
+    untagged = sum(tx.gas_used for tx in cluster.chain.transactions
+                   if tx.details.get("dispute_id") is None)
+    assert tagged + untagged == cluster.chain.total_gas()
 
 
 def test_colluding_committee_scenarios(sim_mlp_workload):
