@@ -25,6 +25,7 @@ payloads at steady state):
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Dict, List
 
@@ -103,6 +104,12 @@ def _drive(cluster: TAOCluster, graphs) -> Dict[str, float]:
     for graph in graphs:  # absorbs plan compilation + batch certification
         cluster.submit_many(graph.name, [_payload(1), _payload(2)])
     cluster.process()
+
+    # Flush pending garbage before measuring: a major collection triggered
+    # mid-drain lands its CPU in whichever shard worker allocated last,
+    # inflating that shard's busy clock (and the fleet critical path) by
+    # tens of ms when the whole suite's heap is behind it.
+    gc.collect()
 
     busy_before = {sid: shard.busy_s for sid, shard in cluster.shards.items()}
     wall_before = cluster.measured_wall_s

@@ -41,7 +41,6 @@ tenants whose ring arcs moved, deterministically.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -68,6 +67,7 @@ from repro.protocol.service import (
 )
 from repro.tensorlib.device import DEVICE_FLEET, DeviceProfile
 from repro.utils.rng import seeded_rng
+from repro.utils.timing import now
 
 
 @dataclass
@@ -172,6 +172,9 @@ class TAOCluster(ServiceCore):
         vnodes: int = 64,
         max_workers: Optional[int] = None,
         coordinator_factory: Optional[Callable[[ShardChainView], Coordinator]] = None,
+        enable_pipeline: bool = True,
+        cycle_capacity: Optional[int] = None,
+        pipeline_queue_depth: int = 2,
     ) -> None:
         if num_shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -191,6 +194,13 @@ class TAOCluster(ServiceCore):
         self.routing = routing
         self.max_workers = max_workers
         self.coordinator_factory = coordinator_factory
+        #: Per-shard drain pipelining: each shard overlaps its own cycles'
+        #: hash/execute/settle/dispute stages (chain appends stay in
+        #: protocol order through the shard's serial chain lane), on top of
+        #: the fleet-level shard concurrency.
+        self.enable_pipeline = bool(enable_pipeline)
+        self.cycle_capacity = None if cycle_capacity is None else int(cycle_capacity)
+        self.pipeline_queue_depth = int(pipeline_queue_depth)
         self._route_rng = seeded_rng(routing_seed)
 
         self.ring = ConsistentHashRing(vnodes=vnodes)
@@ -237,6 +247,9 @@ class TAOCluster(ServiceCore):
             committee_size=self.committee_size,
             leaf_path=self.leaf_path,
             hash_cache=self.hash_cache,
+            enable_pipeline=self.enable_pipeline,
+            cycle_capacity=self.cycle_capacity,
+            pipeline_queue_depth=self.pipeline_queue_depth,
         )
         shard = Shard(shard_id=shard_id, service=service, chain_view=view)
         self.shards[shard_id] = shard
@@ -429,7 +442,7 @@ class TAOCluster(ServiceCore):
         sequential sweep (shard-id order) so the cap is exact fleet-wide.
         Returns the processed requests in cluster submission order.
         """
-        started = time.perf_counter()
+        started = now()
         drained: List[Tuple[Shard, List[ServiceRequest]]] = []
         if max_requests is not None:
             remaining = int(max_requests)
@@ -459,7 +472,7 @@ class TAOCluster(ServiceCore):
                                for shard in busy]
                     drained = [(shard, future.result())
                                for shard, future in futures]
-        self.measured_wall_s += time.perf_counter() - started
+        self.measured_wall_s += now() - started
 
         self._detect_slashed_proposers(drained)
 
@@ -478,10 +491,14 @@ class TAOCluster(ServiceCore):
             # fewer cores than workers, wall time inside a worker mostly
             # measures the other workers; CPU time is the shard's own demand,
             # and max over shards is the fleet's critical path on a
-            # one-core-per-worker deployment.
-            t0 = time.thread_time()
+            # one-core-per-worker deployment.  The service measures it stage
+            # by stage (``ServiceStats.busy_cpu_s``) because a pipelined
+            # drain spreads its CPU over stage worker threads — the calling
+            # worker's own clock would miss all of it.
+            stats = shard.service.stats_record
+            busy_before = stats.busy_cpu_s
             processed = shard.service.process(max_requests)
-            shard.busy_s += time.thread_time() - t0
+            shard.busy_s += stats.busy_cpu_s - busy_before
             shard.processed += len(processed)
             return processed
 
@@ -597,6 +614,16 @@ class TAOCluster(ServiceCore):
             disputes_opened=base.disputes_opened,
             dispute_rounds=base.dispute_rounds,
             processing_time_s=base.processing_time_s,
+            busy_cpu_s=base.busy_cpu_s,
+            # Shards drain concurrently, so the fleet's modeled pipeline
+            # bottleneck is the slowest shard's, not the sum the sequential
+            # aggregate() computes (summing would destroy the per-shard
+            # overlap signal: busy/critical would cancel to ~1x).
+            pipeline_critical_s=max(
+                (s.service.stats_record.pipeline_critical_s
+                 for s in all_shards), default=0.0),
+            pipelined_drains=base.pipelined_drains,
+            stage_busy_s=base.stage_busy_s,
             latencies_s=base.latencies_s,
             status_counts=base.status_counts,
             num_shards=len(self.shards),

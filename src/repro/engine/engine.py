@@ -26,7 +26,6 @@ back to sequential execution — correctness never depends on an op whitelist.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,6 +42,7 @@ from repro.graph.graph import GraphModule
 from repro.graph.interpreter import ExecutionTrace
 from repro.tensorlib.device import DeviceProfile
 from repro.tensorlib.flops import FlopCounter
+from repro.utils.timing import now
 
 
 class ExecutionEngine:
@@ -87,7 +87,7 @@ class ExecutionEngine:
         parameters = graph_module.parameters
         constants = graph_module.graph.constants
         device = self.device
-        start = time.perf_counter()
+        start = now()
 
         for step in plan.steps:
             kind = step.kind
@@ -128,7 +128,7 @@ class ExecutionEngine:
                     env.pop(dead, None)
 
         outputs = tuple(env[name] for name in plan.output_names)
-        elapsed = time.perf_counter() - start
+        elapsed = now() - start
 
         if record:
             values = env
@@ -161,7 +161,12 @@ class ExecutionEngine:
         bit-identical for this device and input signature (see module
         docstring).  Uncertifiable graphs or ragged request shapes fall back
         to per-request :meth:`run` calls, so the result is always a list of
-        per-request traces equivalent to sequential execution.
+        per-request traces equivalent to sequential execution.  Callers
+        never see the raggedness: a ``None`` from the batch-size/signature
+        probes selects the fallback *inside* this method, so a ragged batch
+        submitted through the service (or a pipelined/cluster drain) must
+        complete per-request with correct verdicts — pinned end-to-end by
+        the ragged-batch tests in ``tests/test_tao_service.py``.
 
         Note: in the stacked path, per-request FLOP counts and wall time are
         attributed proportionally to each request's share of the stacked

@@ -19,7 +19,6 @@ are pinned bit-identical by ``tests/test_engine_parity.py``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +27,7 @@ import numpy as np
 from repro.graph.graph import GraphModule
 from repro.graph.node import Node
 from repro.ops.registry import get_op
+from repro.utils.timing import now
 from repro.tensorlib.device import DeviceProfile
 from repro.tensorlib.flops import FlopCounter
 
@@ -149,7 +149,7 @@ class Interpreter:
         flops = FlopCounter()
         overrides = overrides or {}
         delta_overrides = delta_overrides or {}
-        start = time.perf_counter()
+        start = now()
 
         for node in graph.nodes:
             if node.op == "placeholder":
@@ -190,7 +190,7 @@ class Interpreter:
         output_node = graph.output_node
         output_names = tuple(arg.name for arg in output_node.args if isinstance(arg, Node))
         outputs = tuple(env[name] for name in output_names)
-        elapsed = time.perf_counter() - start
+        elapsed = now() - start
 
         values: Dict[str, np.ndarray]
         if record:

@@ -1,0 +1,26 @@
+"""Stage-pipelined execution for the serving front end.
+
+The package decomposes a multi-stage request lifecycle into explicit
+:class:`~repro.pipeline.stages.StageDef` steps connected by bounded
+:class:`~repro.pipeline.queues.HandoffQueue` hand-offs, and runs one worker
+per stage so independent stages of *different* items overlap in time while
+each stage processes items strictly in order.  Stages that touch a shared,
+order-sensitive resource (the settlement chain) declare a common *lane* and
+are serialized in exact protocol order by a
+:class:`~repro.pipeline.stages.SerialLane` ticket lock — the property that
+makes the pipelined drain byte-identical to the synchronous reference drain.
+"""
+
+from repro.pipeline.core import Pipeline, PipelineStats, StageStats
+from repro.pipeline.queues import HandoffQueue, PipelineAborted
+from repro.pipeline.stages import SerialLane, StageDef
+
+__all__ = [
+    "HandoffQueue",
+    "Pipeline",
+    "PipelineAborted",
+    "PipelineStats",
+    "SerialLane",
+    "StageDef",
+    "StageStats",
+]

@@ -1,0 +1,291 @@
+"""The stage-pipelined executor.
+
+:class:`Pipeline` runs a fixed sequence of stages over an ordered list of
+items, SYSFLOW-style: one worker thread per stage, bounded
+:class:`~repro.pipeline.queues.HandoffQueue` hand-offs between adjacent
+stages (backpressure), an optional admission semaphore bounding total items
+in flight, and :class:`~repro.pipeline.stages.SerialLane` ticket locks
+serializing the stages that share an order-sensitive resource.
+
+Guarantees:
+
+* every stage sees items in submission order (one worker per stage, FIFO
+  hand-offs);
+* stages sharing a lane execute in item-major protocol order, so their
+  combined side effects are identical to running the stages sequentially;
+* a stage exception aborts the whole pipeline promptly (queues and lanes are
+  torn down so no worker deadlocks) and re-raises from :meth:`Pipeline.run`.
+
+Accounting distinguishes *busy* time (thread-CPU seconds actually spent in a
+stage callable — the stage's own demand, measured independently of how many
+cores this host has or how the GIL interleaves workers) from *wall* and
+*wait* time.  ``critical_path_s`` models the steady-state bottleneck of a
+one-core-per-stage-worker deployment: stages sharing a lane cannot overlap
+each other, so their busy times sum; independent stages overlap, so the
+pipeline's floor is the maximum over those groups.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.pipeline.queues import HandoffQueue, PipelineAborted
+from repro.pipeline.stages import SerialLane, StageDef
+from repro.utils.timing import now, thread_now
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting for one pipeline run."""
+
+    name: str
+    lane: Optional[str] = None
+    items: int = 0
+    #: Thread-CPU seconds inside the stage callable (the stage's demand).
+    busy_cpu_s: float = 0.0
+    #: Wall-clock seconds inside the stage callable.
+    wall_s: float = 0.0
+    #: Seconds blocked waiting for the lane ticket (chain-order hand-off).
+    lane_wait_s: float = 0.0
+    #: Seconds blocked on the inbound queue (starved by the upstream stage).
+    #: Copied from the queue's own counters after the run — the hand-off
+    #: queues are the single source of wait accounting.
+    get_wait_s: float = 0.0
+    #: Seconds blocked on the outbound queue (backpressure from downstream).
+    put_wait_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "lane": self.lane,
+            "items": self.items,
+            "busy_cpu_s": self.busy_cpu_s,
+            "wall_s": self.wall_s,
+            "lane_wait_s": self.lane_wait_s,
+            "get_wait_s": self.get_wait_s,
+            "put_wait_s": self.put_wait_s,
+        }
+
+
+@dataclass
+class PipelineStats:
+    """Whole-run accounting: per-stage rows plus the modeled critical path."""
+
+    stages: List[StageStats] = field(default_factory=list)
+    items: int = 0
+    wall_s: float = 0.0
+    queue_depth: int = 0
+    #: Seconds the feeder (caller) was blocked admitting items into the
+    #: first bounded queue — backpressure reaching all the way upstream.
+    admission_wait_s: float = 0.0
+
+    @property
+    def busy_total_s(self) -> float:
+        """Total stage demand — the sequential-equivalent cost of the run."""
+        return sum(stage.busy_cpu_s for stage in self.stages)
+
+    @property
+    def critical_path_s(self) -> float:
+        """Bottleneck time of a one-core-per-stage-worker deployment.
+
+        Stages sharing a lane serialize against each other, so each lane
+        contributes the *sum* of its members' busy time; lane-free stages
+        contribute their own.  The slowest group is the pipeline's floor.
+        """
+        groups: Dict[str, float] = {}
+        for index, stage in enumerate(self.stages):
+            key = stage.lane if stage.lane is not None else f"#{index}"
+            groups[key] = groups.get(key, 0.0) + stage.busy_cpu_s
+        return max(groups.values(), default=0.0)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Modeled speedup of pipelining this run vs. draining it serially."""
+        critical = self.critical_path_s
+        if critical <= 0:
+            return 1.0
+        return self.busy_total_s / critical
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "items": self.items,
+            "wall_s": self.wall_s,
+            "queue_depth": self.queue_depth,
+            "admission_wait_s": self.admission_wait_s,
+            "busy_total_s": self.busy_total_s,
+            "critical_path_s": self.critical_path_s,
+            "overlap_speedup": self.overlap_speedup,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+
+#: Sentinel closing the stage pipeline (flows through every queue once).
+_CLOSE = object()
+
+
+class Pipeline:
+    """Run items through fixed stages with one worker per stage."""
+
+    def __init__(
+        self,
+        stages: Sequence[StageDef],
+        queue_depth: int = 2,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stage_defs = tuple(stages)
+        self.queue_depth = int(queue_depth)
+        #: Admission control: total items admitted but not yet finished.
+        #: None leaves the structural bound — one in-flight item per stage
+        #: plus ``queue_depth`` slots per hand-off queue, i.e.
+        #: ``len(stages) * (1 + queue_depth)`` total — with backpressure
+        #: coming purely from the bounded queues.
+        self.max_in_flight = max_in_flight
+        self.stats = PipelineStats(
+            stages=[StageStats(name=s.name, lane=s.lane) for s in self.stage_defs],
+            queue_depth=self.queue_depth,
+        )
+        self._lanes: Dict[str, SerialLane] = {}
+        lane_positions: Dict[str, List[int]] = {}
+        for position, stage in enumerate(self.stage_defs):
+            if stage.lane is not None:
+                lane_positions.setdefault(stage.lane, []).append(position)
+        for name, positions in lane_positions.items():
+            self._lanes[name] = SerialLane(name, positions)
+        self._queues: List[HandoffQueue] = [
+            HandoffQueue(self.queue_depth, name=f"->{stage.name}")
+            for stage in self.stage_defs
+        ]
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+        self._aborted = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, items: Sequence[object]) -> List[object]:
+        """Drive every item through all stages; results in submission order."""
+        items = list(items)
+        if not items:
+            return []
+        started = now()
+        results: List[object] = [None] * len(items)
+        admit = threading.Semaphore(self.max_in_flight) \
+            if self.max_in_flight else None
+
+        workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(position, results, admit),
+                name=f"pipeline-{self.stage_defs[position].name}",
+                daemon=True,
+            )
+            for position in range(len(self.stage_defs))
+        ]
+        for worker in workers:
+            worker.start()
+
+        # Admission: the feeder (caller thread) blocks on the first bounded
+        # queue — and on the admission semaphore when one is configured — so
+        # at most len(stages) * (1 + queue_depth) items (one per stage plus
+        # queue_depth per hand-off queue), or max_in_flight, are ever in
+        # flight.
+        try:
+            for index, item in enumerate(items):
+                if admit is not None:
+                    while not admit.acquire(timeout=0.05):
+                        if self._aborted.is_set():
+                            raise PipelineAborted("admission")
+                self._queues[0].put((index, item))
+            self._queues[0].put(_CLOSE)
+        except PipelineAborted:
+            pass  # a stage failed; workers are unwinding
+        for worker in workers:
+            worker.join()
+        self.stats.items = len(items)
+        self.stats.wall_s = now() - started
+        # The queues are the single source of wait accounting: a stage's
+        # starvation is its inbound queue's get wait, its backpressure is
+        # its outbound queue's put wait, and the first queue's put wait is
+        # the feeder's admission wait.
+        for position, stage_stats in enumerate(self.stats.stages):
+            stage_stats.get_wait_s = self._queues[position].get_wait_s
+            if position + 1 < len(self._queues):
+                stage_stats.put_wait_s = self._queues[position + 1].put_wait_s
+        self.stats.admission_wait_s = self._queues[0].put_wait_s
+        if self._errors:
+            raise self._errors[0]
+        return results
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self, position: int, results: List[object],
+                admit: Optional[threading.Semaphore]) -> None:
+        stage = self.stage_defs[position]
+        stats = self.stats.stages[position]
+        inbound = self._queues[position]
+        outbound = self._queues[position + 1] \
+            if position + 1 < len(self._queues) else None
+        lane = self._lanes.get(stage.lane) if stage.lane is not None else None
+        try:
+            while True:
+                got = inbound.get()
+                if got is _CLOSE:
+                    if outbound is not None:
+                        outbound.put(_CLOSE)
+                    return
+                index, payload = got
+
+                if lane is not None:
+                    lane_start = now()
+                    lane.acquire(position, index)
+                    stats.lane_wait_s += now() - lane_start
+                wall_start = now()
+                cpu_start = thread_now()
+                try:
+                    out = stage.fn(payload)
+                except BaseException as exc:  # noqa: BLE001 - see run()
+                    stats.busy_cpu_s += thread_now() - cpu_start
+                    stats.wall_s += now() - wall_start
+                    # Abort *before* any lane release: releasing first would
+                    # wake the next item's lane stage and let it commit chain
+                    # side effects after the pipeline has already failed —
+                    # stranding those items beyond what a retry can recover.
+                    # abort() wakes every lane waiter into PipelineAborted
+                    # instead, so the held ticket is never handed on.
+                    with self._error_lock:
+                        self._errors.append(exc)
+                    self._abort()
+                    return
+                stats.busy_cpu_s += thread_now() - cpu_start
+                stats.wall_s += now() - wall_start
+                if lane is not None:
+                    lane.release(position, index)
+                stats.items += 1
+
+                if outbound is not None:
+                    outbound.put((index, out))
+                else:
+                    results[index] = out
+                    if admit is not None:
+                        admit.release()
+        except PipelineAborted:
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagated to run()
+            with self._error_lock:
+                self._errors.append(exc)
+            self._abort()
+            return
+
+    def _abort(self) -> None:
+        self._aborted.set()
+        for queue in self._queues:
+            queue.abort()
+        for lane in self._lanes.values():
+            lane.abort()

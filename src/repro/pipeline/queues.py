@@ -1,0 +1,85 @@
+"""Bounded hand-off queues with backpressure accounting.
+
+A :class:`HandoffQueue` connects two adjacent pipeline stages.  Its capacity
+bounds how far the upstream stage may run ahead of the downstream one: a
+full queue blocks the producer (*backpressure*), an empty queue blocks the
+consumer, and both wait times are accumulated so the pipeline's statistics
+can attribute idle time to the stage imbalance that caused it.
+
+``abort`` tears the queue down from any thread: every blocked or future
+``put``/``get`` raises :class:`PipelineAborted`, which is how a stage failure
+unwinds the whole worker pool without deadlocking on a bounded queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from repro.utils.timing import now
+
+
+class PipelineAborted(RuntimeError):
+    """The pipeline was torn down (a stage failed) while blocked on a queue."""
+
+
+class HandoffQueue:
+    """A bounded FIFO hand-off between two pipeline stages."""
+
+    def __init__(self, capacity: int = 2, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("a hand-off queue needs capacity >= 1")
+        self.name = name
+        self.capacity = int(capacity)
+        self._items: Deque[object] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._aborted = False
+        #: Backpressure accounting: producer seconds blocked on a full queue,
+        #: consumer seconds blocked on an empty one, high-water occupancy.
+        self.put_wait_s = 0.0
+        self.get_wait_s = 0.0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Enqueue ``item``; blocks while the queue is full (backpressure)."""
+        with self._not_full:
+            if self._aborted:
+                raise PipelineAborted(self.name)
+            if len(self._items) >= self.capacity:
+                started = now()
+                while len(self._items) >= self.capacity and not self._aborted:
+                    self._not_full.wait()
+                self.put_wait_s += now() - started
+            if self._aborted:
+                raise PipelineAborted(self.name)
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+            self._not_empty.notify()
+
+    def get(self) -> object:
+        """Dequeue the oldest item; blocks while the queue is empty."""
+        with self._not_empty:
+            if not self._items:
+                started = now()
+                while not self._items and not self._aborted:
+                    self._not_empty.wait()
+                self.get_wait_s += now() - started
+            if self._aborted:
+                raise PipelineAborted(self.name)
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def abort(self) -> None:
+        """Wake every blocked producer/consumer with :class:`PipelineAborted`."""
+        with self._lock:
+            self._aborted = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

@@ -1,0 +1,80 @@
+"""Stage definitions and the protocol-order serial lane.
+
+:class:`StageDef` names one pipeline stage: a callable applied to each item
+in order.  Stages run on one worker each, so a stage is internally serial
+while *different* stages overlap across items.
+
+:class:`SerialLane` is the ordering primitive that lets several stages share
+one order-sensitive resource (the settlement chain) without giving up the
+reference semantics: all member stages' work is serialized in **item-major
+protocol order** — for lane members ``settle`` then ``dispute``, the global
+order is ``settle(0), dispute(0), settle(1), dispute(1), ...`` — exactly the
+sequence the synchronous drain produces.  It is a ticket lock, not a plain
+mutex: a plain mutex would let ``settle(N+1)`` race ahead of ``dispute(N)``
+and reorder chain transactions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One pipeline stage: a name, the per-item callable, an optional lane."""
+
+    name: str
+    #: Applied to each item in order; its return value is handed downstream
+    #: (the last stage's return value is the item's pipeline result).
+    fn: Callable[[object], object]
+    #: Stages sharing a lane name serialize on one order-sensitive resource.
+    lane: Optional[str] = None
+
+
+class SerialLane:
+    """Item-major ticket lock over the stages sharing one resource.
+
+    ``acquire(position, item)`` blocks until every lane member that precedes
+    ``(item, position)`` in lexicographic (item, stage-position) order has
+    released — i.e. members at earlier pipeline positions have finished this
+    item and members at later positions have finished the previous item.
+    Each member stage processes items in order (one worker, FIFO queues), so
+    per-stage completion counts fully describe the lane's progress.
+    """
+
+    def __init__(self, name: str, positions: Sequence[int]) -> None:
+        self.name = name
+        self._positions = tuple(sorted(positions))
+        #: Items completed (released) per member stage position.
+        self._completed: Dict[int, int] = {pos: 0 for pos in self._positions}
+        self._cond = threading.Condition()
+        self._aborted = False
+
+    def _ready(self, position: int, item_index: int) -> bool:
+        for pos in self._positions:
+            if pos < position and self._completed[pos] < item_index + 1:
+                return False
+            if pos > position and self._completed[pos] < item_index:
+                return False
+        return True
+
+    def acquire(self, position: int, item_index: int) -> None:
+        from repro.pipeline.queues import PipelineAborted
+
+        with self._cond:
+            while not self._ready(position, item_index) and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise PipelineAborted(f"lane {self.name}")
+
+    def release(self, position: int, item_index: int) -> None:
+        with self._cond:
+            self._completed[position] = item_index + 1
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()

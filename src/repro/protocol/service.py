@@ -4,7 +4,10 @@
 layer the ROADMAP's production goal needs on top of it: a **multi-tenant
 service** that keeps many requests in flight against one coordinator.
 
-Request life cycle inside :meth:`TAOService.process`:
+Request life cycle inside :meth:`TAOService.process` — four explicit stages,
+run strictly in sequence by the reference drain
+(:meth:`TAOService.drain_reference`) and overlapped across cycles by the
+stage-pipelined drain (:mod:`repro.pipeline`, the default):
 
 1. **Queue** — :meth:`TAOService.submit` enqueues (model, inputs) pairs;
    tenants are models registered once via :meth:`TAOService.register_model`
@@ -30,6 +33,22 @@ Request life cycle inside :meth:`TAOService.process`:
    unchallenged tasks finalize; every processed request ends in a terminal
    coordinator status.
 
+Nothing in the protocol requires the *service* to run that sequence
+lock-step across requests: commitment hashing for cycle N+1 can overlap
+proposer execution of cycle N and the multiplexed dispute rounds of cycle
+N-1.  The default drain therefore decomposes each cycle into the four stages
+above — *hash* (HashCache + Merkle input digests), *execute*
+(ExecutionEngine batch + challenger verification), *settle* (chain append +
+challenge-window bookkeeping) and *dispute* (round-robin
+``DisputeGame.step_round`` multiplexing) — and runs them on a
+:class:`~repro.pipeline.core.Pipeline`: one worker per stage, bounded
+hand-off queues with backpressure, and the chain-touching *settle* and
+*dispute* stages serialized in exact protocol order on one
+:class:`~repro.pipeline.stages.SerialLane`.  Every protocol-observable event
+(chain transaction, dispute move, finalization) happens in the same order
+the synchronous drain produces, so the two drains are byte-identical — the
+differential pin in ``tests/test_pipeline_equivalence.py``.
+
 Throughput/latency statistics are collected per request and aggregated in
 :meth:`TAOService.stats`.
 
@@ -47,7 +66,6 @@ without minting or forfeiting a single ledger unit.
 from __future__ import annotations
 
 import abc
-import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -58,11 +76,18 @@ from repro.calibration.thresholds import ExceedanceReport
 from repro.graph.graph import GraphModule
 from repro.merkle.cache import HashCache
 from repro.merkle.commitments import execution_input_hash, make_execution_commitment
+from repro.pipeline import Pipeline, PipelineStats, StageDef
 from repro.protocol.coordinator import Coordinator
 from repro.protocol.dispute import ActiveDispute, DisputeGame
 from repro.protocol.lifecycle import SessionReport, TAOSession
 from repro.protocol.roles import Challenger, ProposedResult, Proposer
 from repro.tensorlib.device import DEVICE_FLEET, DeviceProfile
+from repro.utils.timing import now, thread_now
+
+#: Coordinator task states with no further protocol step pending — a failed
+#: drain adopts these as the request's final status during unwind.
+TERMINAL_TASK_STATUSES = frozenset(
+    {"finalized", "proposer_slashed", "challenger_slashed"})
 
 
 @dataclass
@@ -129,6 +154,21 @@ class ServiceStats:
     disputes_opened: int = 0
     dispute_rounds: int = 0
     processing_time_s: float = 0.0
+    #: Thread-CPU seconds spent inside drain stages — the service's own
+    #: demand (the sequential-equivalent drain cost), measured independently
+    #: of host core count and GIL interleaving.
+    busy_cpu_s: float = 0.0
+    #: Modeled bottleneck time of the drains: for a pipelined drain the
+    #: slowest stage group (chain-lane stages sum, independent stages don't);
+    #: for a synchronous drain identical to ``busy_cpu_s``.  The pipeline
+    #: throughput benchmark gates ``busy_cpu_s / pipeline_critical_s``.
+    #: Sums across *sequential* drains of one service; across concurrent
+    #: shards the cluster overrides the aggregate with the max over shards.
+    pipeline_critical_s: float = 0.0
+    #: Drains that actually overlapped stages (>= 2 cycles on the pipeline).
+    pipelined_drains: int = 0
+    #: Per-stage busy breakdown (hash / execute / settle / dispute).
+    stage_busy_s: Dict[str, float] = field(default_factory=dict)
     latencies_s: List[float] = field(default_factory=list)
     status_counts: Dict[str, int] = field(default_factory=dict)
 
@@ -153,6 +193,10 @@ class ServiceStats:
             "disputes_opened": self.disputes_opened,
             "dispute_rounds": self.dispute_rounds,
             "processing_time_s": self.processing_time_s,
+            "busy_cpu_s": self.busy_cpu_s,
+            "pipeline_critical_s": self.pipeline_critical_s,
+            "pipelined_drains": self.pipelined_drains,
+            "stage_busy_s": dict(self.stage_busy_s),
             "throughput_rps": self.throughput_rps,
             "mean_latency_s": self.mean_latency_s,
             "status_counts": dict(self.status_counts),
@@ -170,11 +214,51 @@ class ServiceStats:
             total.disputes_opened += part.disputes_opened
             total.dispute_rounds += part.dispute_rounds
             total.processing_time_s += part.processing_time_s
+            total.busy_cpu_s += part.busy_cpu_s
+            total.pipeline_critical_s += part.pipeline_critical_s
+            total.pipelined_drains += part.pipelined_drains
+            for stage, seconds in part.stage_busy_s.items():
+                total.stage_busy_s[stage] = \
+                    total.stage_busy_s.get(stage, 0.0) + seconds
             total.latencies_s.extend(part.latencies_s)
             for status, count in part.status_counts.items():
                 total.status_counts[status] = \
                     total.status_counts.get(status, 0) + count
         return total
+
+
+@dataclass
+class _CycleState:
+    """Everything one processing cycle carries between pipeline stages.
+
+    A cycle is the unit flowing through the drain: hashed, executed, settled
+    and disputed as a whole.  All mutable per-cycle state lives here (never
+    on the service), so concurrent cycles in different stages share nothing
+    but the explicitly synchronized resources (result cache on the execute
+    worker, the chain on the serial chain lane).
+    """
+
+    index: int
+    batch: List[ServiceRequest]
+    #: Default-path requests grouped per model in first-seen order (the
+    #: grouping fixes the chain submission order, so it is computed once in
+    #: the hash stage and replayed identically by settle).
+    default_path: Dict[str, List[ServiceRequest]] = field(default_factory=dict)
+    custom_path: List[ServiceRequest] = field(default_factory=list)
+    #: request_id -> execution input hash (cache key == commitment H(x)).
+    input_hashes: Dict[int, bytes] = field(default_factory=dict)
+    #: request_id -> memoized/fresh verdict, filled by the execute stage.
+    verdicts: Dict[int, CachedVerdict] = field(default_factory=dict)
+    #: request_id -> (result, looks_honest, reports) for custom proposers.
+    custom_results: Dict[int, Tuple[ProposedResult, bool, List[ExceedanceReport]]] = \
+        field(default_factory=dict)
+    #: Disputes opened by the settle stage, multiplexed by the dispute stage.
+    actives: List[Tuple[ServiceRequest, DisputeGame, ActiveDispute]] = \
+        field(default_factory=list)
+    #: Set by the dispute stage once the cycle's requests are fully counted
+    #: into the service statistics; a failed drain folds the terminal
+    #: statuses of unclosed cycles into the histogram during unwind.
+    closed: bool = False
 
 
 class ServiceCore(abc.ABC):
@@ -236,6 +320,9 @@ class TAOService(ServiceCore):
         committee_size: int = 3,
         leaf_path: str = "routed",
         hash_cache: Optional[HashCache] = None,
+        enable_pipeline: bool = True,
+        cycle_capacity: Optional[int] = None,
+        pipeline_queue_depth: int = 2,
     ) -> None:
         self.coordinator = coordinator or Coordinator()
         self.devices = tuple(devices)
@@ -250,6 +337,16 @@ class TAOService(ServiceCore):
         # An externally shared cache lets many short-lived services over the
         # same committed weights (e.g. simulator scenarios) reuse digests.
         self.hash_cache = hash_cache or HashCache()
+        #: Overlap cycles on the stage pipeline when a drain spans more than
+        #: one (:meth:`drain_reference` always runs the synchronous path).
+        self.enable_pipeline = bool(enable_pipeline)
+        #: Optional cap on requests per cycle, clamped to the protocol bound
+        #: (:meth:`_cycle_capacity`).  Smaller cycles mean finer pipelining
+        #: granularity — more cycles in flight for the same drain.
+        self.cycle_capacity = None if cycle_capacity is None else int(cycle_capacity)
+        self.pipeline_queue_depth = int(pipeline_queue_depth)
+        #: Stage/queue accounting of the most recent pipelined drain.
+        self.last_pipeline_stats: Optional[PipelineStats] = None
 
         self._models: Dict[str, ModelEntry] = {}
         self._queue: Deque[int] = deque()
@@ -328,7 +425,7 @@ class TAOService(ServiceCore):
             proposer=proposer,
             challenger=challenger,
             force_challenge=force_challenge,
-            submitted_s=time.perf_counter(),
+            submitted_s=now(),
         )
         self._requests[request.request_id] = request
         self._queue.append(request.request_id)
@@ -399,12 +496,16 @@ class TAOService(ServiceCore):
                                             owner=f"{entry.name}-owner")
         entry.session.coordinator = self.coordinator
         self._models[entry.name] = entry
+        # The entry arrives with the *source* service's cache bound; enforce
+        # this service's bound immediately rather than on the next insert.
+        self._trim_result_cache(entry)
 
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------
 
-    def process(self, max_requests: Optional[int] = None) -> List[ServiceRequest]:
+    def process(self, max_requests: Optional[int] = None,
+                pipelined: Optional[bool] = None) -> List[ServiceRequest]:
         """Drain (up to ``max_requests`` of) the queue to terminal statuses.
 
         The drain proceeds in bounded cycles: every coordinator transaction
@@ -412,10 +513,63 @@ class TAOService(ServiceCore):
         every task's challenge window is still live, so each cycle takes at
         most :meth:`_cycle_capacity` requests through submit -> verify ->
         dispute -> finalize before the next cycle starts.
+
+        When more than one cycle is admitted and pipelining is enabled, the
+        cycles overlap on the stage pipeline (:meth:`_drain_pipelined`);
+        otherwise each cycle's stages run strictly in sequence.  Both paths
+        produce byte-identical protocol events.
         """
-        remaining = max_requests
+        use_pipeline = self.enable_pipeline if pipelined is None else bool(pipelined)
+        cycles = self._admit_cycles(max_requests)
+        if not cycles:
+            return []
+        started = now()
         processed: List[ServiceRequest] = []
+        try:
+            if use_pipeline and len(cycles) > 1:
+                processed = self._drain_pipelined(cycles)
+            else:
+                for cycle in cycles:
+                    processed.extend(self._run_cycle(cycle))
+        except BaseException:
+            # A stage failure must not strand the admitted-but-untouched
+            # requests: every request that never produced a side effect
+            # beyond pure compute goes back to the queue head (original
+            # order), so a retry drain can still serve it.
+            self._requeue_unprocessed(cycles)
+            raise
+        self.stats_record.processing_time_s += now() - started
+        return processed
+
+    def drain_reference(self, max_requests: Optional[int] = None) -> List[ServiceRequest]:
+        """The synchronous reference drain: stages strictly in sequence.
+
+        Semantically the seed drain — the pipelined drain is pinned
+        byte-identical to it (same per-request verdicts, same chain
+        transaction order, same ledger) by the differential test.
+        """
+        return self.process(max_requests, pipelined=False)
+
+    def _cycle_capacity(self) -> int:
+        """Requests per cycle such that no challenge window lapses mid-cycle.
+
+        The first task of a cycle is submitted ~2 transactions (blocks) per
+        request before the last dispute of the cycle opens; keeping a cycle
+        to a quarter of the window in blocks leaves ample margin.  An
+        explicit ``cycle_capacity`` only ever tightens this protocol bound.
+        """
+        window_blocks = self.coordinator.challenge_window_s / \
+            self.coordinator.chain.block_interval_s
+        protocol_cap = max(1, int(window_blocks / 4))
+        if self.cycle_capacity is not None:
+            return max(1, min(protocol_cap, self.cycle_capacity))
+        return protocol_cap
+
+    def _admit_cycles(self, max_requests: Optional[int]) -> List[_CycleState]:
+        """Admission control: pop the queue into bounded cycle batches."""
+        remaining = max_requests
         capacity = self._cycle_capacity()
+        cycles: List[_CycleState] = []
         while self._queue and (remaining is None or remaining > 0):
             take = capacity if remaining is None else min(capacity, remaining)
             batch: List[ServiceRequest] = []
@@ -423,122 +577,162 @@ class TAOService(ServiceCore):
                 batch.append(self._requests[self._queue.popleft()])
             if not batch:
                 break
-            processed.extend(self._process_cycle(batch))
+            cycles.append(_CycleState(index=len(cycles), batch=batch))
             if remaining is not None:
                 remaining -= len(batch)
+        return cycles
+
+    def _requeue_unprocessed(self, cycles: List[_CycleState]) -> None:
+        """Recover what a failed drain admitted: requeue or mark stranded.
+
+        Requests still ``queued`` with no report have at most been hashed,
+        executed and memoized (pure compute over content-addressed caches) —
+        they never reached the chain, so they go back to the queue head in
+        order and a retry drain serves them exactly once.
+
+        Requests whose settle already ran (report exists) but whose dispute
+        stage never closed the cycle cannot be re-run — re-processing would
+        double-submit their coordinator tasks.  They are marked ``stranded``
+        (with ``error`` describing the chain-side state) instead of being
+        left silently ``queued`` forever: the record is queryable, the
+        status histogram shows it, and the on-chain task remains PENDING for
+        an operator (or the liveness invariant sweep) to find.
+        """
+        requeue: List[int] = []
+        counts = self.stats_record.status_counts
+        for cycle in cycles:
+            if cycle.closed:
+                continue  # dispute stage finished: already counted
+            for request in cycle.batch:
+                if request.status == "queued" and request.report is None:
+                    requeue.append(request.request_id)
+                    continue
+                if request.status == "queued":
+                    # The request settled; what happened next is on the
+                    # TaskRecord itself (the failure may have hit partway
+                    # through the dispute stage, *after* this task already
+                    # finalized or resolved its dispute).
+                    task = request.report.task
+                    if task.status.value in TERMINAL_TASK_STATUSES:
+                        request.status = request.report.final_status
+                    else:
+                        request.status = "stranded"
+                        request.error = (
+                            "drain failed before this request's dispute/"
+                            f"finalize step; task {task.task_id} left "
+                            f"{task.status.value!r} on chain"
+                        )
+                # Terminal-but-uncounted (stranded here, or rejected in a
+                # cycle whose dispute stage never ran): fold the status into
+                # the histogram so monitoring sees it — but not into
+                # requests_completed, which counts only drained requests.
+                counts[request.status] = counts.get(request.status, 0) + 1
+        self._queue.extendleft(reversed(requeue))
+
+    def _stage_table(self) -> Tuple[Tuple[str, object, Optional[str]], ...]:
+        """The drain's stages in order: (name, callable, serial lane)."""
+        return (
+            ("hash", self._stage_hash, None),
+            ("execute", self._stage_execute, None),
+            # Settle and dispute both append to the settlement chain, whose
+            # transaction order is protocol-observable: they share one
+            # serial lane so settle(N+1) can never overtake dispute(N).
+            ("settle", self._stage_settle, "chain"),
+            ("dispute", self._stage_dispute, "chain"),
+        )
+
+    def _run_cycle(self, cycle: _CycleState) -> List[ServiceRequest]:
+        """Reference composition: the four stages, strictly in sequence."""
+        stats = self.stats_record
+        for name, stage_fn, _lane in self._stage_table():
+            cpu_start = thread_now()
+            stage_fn(cycle)
+            elapsed = thread_now() - cpu_start
+            stats.busy_cpu_s += elapsed
+            stats.pipeline_critical_s += elapsed  # serial: everything is critical
+            stats.stage_busy_s[name] = stats.stage_busy_s.get(name, 0.0) + elapsed
+        return cycle.batch
+
+    def _drain_pipelined(self, cycles: List[_CycleState]) -> List[ServiceRequest]:
+        """Overlap the admitted cycles on the stage pipeline.
+
+        Hash and execute are pure compute (HashCache is thread-safe, the
+        result cache is confined to the single execute worker), so they run
+        concurrently with the chain lane, where settle and dispute replay
+        every protocol event in exactly the reference order.
+        """
+        pipeline = Pipeline(
+            [StageDef(name, stage_fn, lane=lane)
+             for name, stage_fn, lane in self._stage_table()],
+            queue_depth=self.pipeline_queue_depth,
+        )
+        try:
+            batches = pipeline.run(cycles)
+        finally:
+            # Fold the run's accounting in even when a stage failed and
+            # run() re-raises (its stats are complete by then): the CPU the
+            # completed stages burned is real demand, and the cluster's
+            # shard busy clock reads busy_cpu_s deltas around process().
+            stats = self.stats_record
+            run_stats = pipeline.stats
+            self.last_pipeline_stats = run_stats
+            stats.busy_cpu_s += run_stats.busy_total_s
+            stats.pipeline_critical_s += run_stats.critical_path_s
+            stats.pipelined_drains += 1
+            for stage in run_stats.stages:
+                stats.stage_busy_s[stage.name] = \
+                    stats.stage_busy_s.get(stage.name, 0.0) + stage.busy_cpu_s
+        processed: List[ServiceRequest] = []
+        for batch in batches:
+            processed.extend(batch)
         return processed
 
-    def _cycle_capacity(self) -> int:
-        """Requests per cycle such that no challenge window lapses mid-cycle.
+    # -- pipeline stages ---------------------------------------------------
 
-        The first task of a cycle is submitted ~2 transactions (blocks) per
-        request before the last dispute of the cycle opens; keeping a cycle
-        to a quarter of the window in blocks leaves ample margin.
+    def _stage_hash(self, cycle: _CycleState) -> _CycleState:
+        """Stage 1 — hash/commit: route requests, digest default payloads.
+
+        Pure compute over the (thread-safe, content-addressed) hash cache:
+        the commitment's H(x) doubles as the result-cache key, so the two
+        can never diverge.  Unhashable payloads are rejected here, before
+        anything touches the cache or the chain.
         """
-        window_blocks = self.coordinator.challenge_window_s / \
-            self.coordinator.chain.block_interval_s
-        return max(1, int(window_blocks / 4))
-
-    def _process_cycle(self, batch: List[ServiceRequest]) -> List[ServiceRequest]:
-        started = time.perf_counter()
-
-        # Phase 1+: execute, commit, and submit every request as its own task.
-        self._execute_and_submit(batch)
-
-        # Phase 2 entry: open every dispute while all challenge windows are
-        # still live (chain time moves with every transaction, so disputes
-        # must be opened before the windows are allowed to lapse).
-        actives: List[Tuple[ServiceRequest, DisputeGame, ActiveDispute]] = []
-        for request in batch:
-            report = request.report
-            if report is None:  # rejected before reaching the coordinator
-                continue
-            if request.force_challenge or not report.finalized_optimistically:
-                entry = self.model(request.model_name)
-                game = entry.session.make_dispute_game()
-                challenger = request.challenger or self._challenger_clone(entry)
-                proposer = request.proposer or entry.proposer
-                active = game.open(report.task, proposer, challenger, report.result)
-                actives.append((request, game, active))
-                report.challenged = True
-                report.finalized_optimistically = False
-                self.stats_record.disputes_opened += 1
-
-        # Phases 2-3: multiplex the dispute games round-robin.
-        running = list(actives)
-        while running:
-            still_running = []
-            for item in running:
-                request, game, active = item
-                rounds_before = len(active.per_round)
-                if game.step_round(active):
-                    still_running.append(item)
-                # Count rounds actually played (a terminal no-op iteration,
-                # or a dispute settled at open by an input-binding fraud
-                # proof, plays none).
-                self.stats_record.dispute_rounds += \
-                    len(active.per_round) - rounds_before
-            running = still_running
-        for request, game, active in actives:
-            request.report.dispute = game.conclude(active)
-
-        # Finalize every unchallenged task after one window advance.
-        window = self.coordinator.challenge_window_s
-        if any(r.report is not None and not r.report.challenged for r in batch):
-            self.coordinator.chain.advance_time(window + 1.0)
-        for request in batch:
-            report = request.report
-            if report is not None and not report.challenged:
-                proposer = request.proposer or self.model(request.model_name).proposer
-                self.coordinator.try_finalize(report.task.task_id, caller=proposer.name)
-                report.finalized_optimistically = True
-
-        now = time.perf_counter()
-        for request in batch:
-            if request.report is not None:
-                request.status = request.report.final_status
-            request.completed_s = now
-            self.stats_record.requests_completed += 1
-            self.stats_record.latencies_s.append(request.latency_s)
-            counts = self.stats_record.status_counts
-            counts[request.status] = counts.get(request.status, 0) + 1
-        self.stats_record.processing_time_s += now - started
-        return batch
-
-    # -- execution internals ---------------------------------------------
-
-    def _execute_and_submit(self, batch: List[ServiceRequest]) -> None:
-        """Produce a ProposedResult + coordinator task + verdict per request."""
-        # Partition into the batchable default path vs. custom proposers.
-        default_path: Dict[str, List[ServiceRequest]] = {}
-        custom_path: List[ServiceRequest] = []
-        for request in batch:
+        for request in cycle.batch:
             if request.proposer is None:
-                default_path.setdefault(request.model_name, []).append(request)
+                cycle.default_path.setdefault(request.model_name, []).append(request)
             else:
-                custom_path.append(request)
-
-        for model_name, requests in default_path.items():
-            entry = self.model(model_name)
-            misses: List[ServiceRequest] = []
-            verdicts: Dict[int, CachedVerdict] = {}
-            input_hashes: Dict[int, bytes] = {}
-            pending: Dict[bytes, List[ServiceRequest]] = {}
+                cycle.custom_path.append(request)
+        for requests in cycle.default_path.values():
             for request in requests:
                 try:
-                    # The commitment's H(x) doubles as the cache key, so the
-                    # two can never diverge.
                     key = execution_input_hash(request.inputs, self.hash_cache)
                 except Exception as exc:
                     self._reject(request, f"unhashable payload: {exc}")
                     continue
-                input_hashes[request.request_id] = key
+                cycle.input_hashes[request.request_id] = key
+        return cycle
+
+    def _stage_execute(self, cycle: _CycleState) -> _CycleState:
+        """Stage 2 — execute: result-cache lookups, batched runs, verdicts.
+
+        The only stage that touches the per-model result caches (lookups,
+        inserts and LRU eviction), so cache state advances in exact cycle
+        order even while other stages overlap.
+        """
+        for model_name, requests in cycle.default_path.items():
+            entry = self.model(model_name)
+            misses: List[ServiceRequest] = []
+            pending: Dict[bytes, List[ServiceRequest]] = {}
+            for request in requests:
+                if request.status == "rejected":  # unhashable payload
+                    continue
+                key = cycle.input_hashes[request.request_id]
                 if self.enable_result_cache:
                     cached = entry.result_cache.get(key)
                     if cached is not None:
                         entry.result_cache.move_to_end(key)
-                        # Content-addressed hit from an earlier processing cycle.
-                        verdicts[request.request_id] = cached
+                        # Content-addressed hit from an earlier cycle.
+                        cycle.verdicts[request.request_id] = cached
                         request.cache_hit = True
                         self.stats_record.cache_hits += 1
                         continue
@@ -555,25 +749,47 @@ class TAOService(ServiceCore):
                 chunk = misses[chunk_start:chunk_start + self.max_batch]
                 fresh = self._execute_default(entry, chunk)
                 for request, verdict in zip(chunk, fresh):
-                    key = input_hashes[request.request_id]
+                    key = cycle.input_hashes[request.request_id]
                     if verdict is None:
                         # Rejected; duplicates of the same payload fail alike.
                         for waiter in pending.get(key, ()):
                             self._reject(waiter, request.error)
                         continue
-                    verdicts[request.request_id] = verdict
+                    cycle.verdicts[request.request_id] = verdict
                     if self.enable_result_cache:
-                        entry.result_cache[key] = verdict
-                        entry.result_cache.move_to_end(key)
-                        while len(entry.result_cache) > self.result_cache_size:
-                            entry.result_cache.popitem(last=False)
+                        self._cache_store(entry, key, verdict)
                         for waiter in pending.get(key, ()):
-                            verdicts[waiter.request_id] = verdict
+                            cycle.verdicts[waiter.request_id] = verdict
 
+        for request in cycle.custom_path:
+            entry = self.model(request.model_name)
+            try:
+                result = request.proposer.execute(
+                    entry.session.graph_module,
+                    entry.session.model_commitment, request.inputs)
+            except Exception as exc:
+                self._reject(request, str(exc))
+                continue
+            looks_honest, reports = (request.challenger or entry.challenger) \
+                .verify_result(entry.session.graph_module, result)
+            cycle.custom_results[request.request_id] = (result, looks_honest, reports)
+        return cycle
+
+    def _stage_settle(self, cycle: _CycleState) -> _CycleState:
+        """Stage 3 — settle: chain submission + dispute opening (chain lane).
+
+        Submits every request as its own coordinator task — default-path
+        groups first, then custom proposers, matching the reference order
+        exactly — then opens every dispute while all of the cycle's
+        challenge windows are still live (chain time moves with every
+        transaction, so disputes must open before windows may lapse).
+        """
+        for model_name, requests in cycle.default_path.items():
+            entry = self.model(model_name)
             for request in requests:
                 if request.status == "rejected":
                     continue
-                verdict = verdicts[request.request_id]
+                verdict = cycle.verdicts[request.request_id]
                 task = self.coordinator.submit_result(
                     model_name, entry.user.name, entry.proposer.name,
                     verdict.result.commitment, fee=entry.user.fee_per_request,
@@ -582,25 +798,19 @@ class TAOService(ServiceCore):
                     task=task,
                     result=verdict.result,
                     challenged=False,
-                    finalized_optimistically=verdict.looks_honest and not request.force_challenge,
+                    finalized_optimistically=verdict.looks_honest
+                    and not request.force_challenge,
                     verification_reports=list(verdict.reports),
                 )
 
-        for request in custom_path:
-            entry = self.model(request.model_name)
-            proposer = request.proposer
-            try:
-                result = proposer.execute(entry.session.graph_module,
-                                          entry.session.model_commitment, request.inputs)
-            except Exception as exc:
-                self._reject(request, str(exc))
+        for request in cycle.custom_path:
+            if request.status == "rejected":  # execution failed in stage 2
                 continue
+            entry = self.model(request.model_name)
+            result, looks_honest, reports = cycle.custom_results[request.request_id]
             task = self.coordinator.submit_result(
-                request.model_name, entry.user.name, proposer.name,
+                request.model_name, entry.user.name, request.proposer.name,
                 result.commitment, fee=entry.user.fee_per_request,
-            )
-            looks_honest, reports = (request.challenger or entry.challenger).verify_result(
-                entry.session.graph_module, result
             )
             request.report = SessionReport(
                 task=task,
@@ -610,11 +820,94 @@ class TAOService(ServiceCore):
                 verification_reports=reports,
             )
 
+        for request in cycle.batch:
+            report = request.report
+            if report is None:  # rejected before reaching the coordinator
+                continue
+            if request.force_challenge or not report.finalized_optimistically:
+                entry = self.model(request.model_name)
+                game = entry.session.make_dispute_game()
+                challenger = request.challenger or self._challenger_clone(entry)
+                proposer = request.proposer or entry.proposer
+                active = game.open(report.task, proposer, challenger, report.result)
+                cycle.actives.append((request, game, active))
+                report.challenged = True
+                report.finalized_optimistically = False
+                self.stats_record.disputes_opened += 1
+        return cycle
+
+    def _stage_dispute(self, cycle: _CycleState) -> List[ServiceRequest]:
+        """Stage 4 — dispute: multiplex games, finalize, close the cycle.
+
+        Runs on the chain lane directly after the cycle's settle stage, so
+        dispute rounds, the window advance and finalizations land on the
+        chain in exactly the reference order.
+        """
+        running = list(cycle.actives)
+        while running:
+            still_running = []
+            for item in running:
+                request, game, active = item
+                rounds_before = len(active.per_round)
+                if game.step_round(active):
+                    still_running.append(item)
+                # Count rounds actually played (a terminal no-op iteration,
+                # or a dispute settled at open by an input-binding fraud
+                # proof, plays none).
+                self.stats_record.dispute_rounds += \
+                    len(active.per_round) - rounds_before
+            running = still_running
+        for request, game, active in cycle.actives:
+            request.report.dispute = game.conclude(active)
+
+        # Finalize every unchallenged task after one window advance.
+        window = self.coordinator.challenge_window_s
+        if any(r.report is not None and not r.report.challenged
+               for r in cycle.batch):
+            self.coordinator.chain.advance_time(window + 1.0)
+        for request in cycle.batch:
+            report = request.report
+            if report is not None and not report.challenged:
+                proposer = request.proposer or self.model(request.model_name).proposer
+                self.coordinator.try_finalize(report.task.task_id, caller=proposer.name)
+                report.finalized_optimistically = True
+
+        completed = now()
+        for request in cycle.batch:
+            if request.report is not None:
+                request.status = request.report.final_status
+            request.completed_s = completed
+            self.stats_record.requests_completed += 1
+            self.stats_record.latencies_s.append(request.latency_s)
+            counts = self.stats_record.status_counts
+            counts[request.status] = counts.get(request.status, 0) + 1
+        cycle.closed = True
+        return cycle.batch
+
+    # -- execution internals ---------------------------------------------
+
     @staticmethod
     def _reject(request: ServiceRequest, error: Optional[str]) -> None:
         """Mark a request as rejected (terminal) without touching the chain."""
         request.status = "rejected"
         request.error = error or "execution failed"
+
+    def _cache_store(self, entry: ModelEntry, key: bytes,
+                     verdict: CachedVerdict) -> None:
+        """The single insert path of the result cache: store + LRU-evict.
+
+        Every insert runs eviction (each entry pins a full recorded trace,
+        so the bound must hold after *every* insert, on every path) — the
+        invariant ``len(result_cache) <= result_cache_size`` is pinned by a
+        mixed-traffic regression test.
+        """
+        entry.result_cache[key] = verdict
+        entry.result_cache.move_to_end(key)
+        self._trim_result_cache(entry)
+
+    def _trim_result_cache(self, entry: ModelEntry) -> None:
+        while len(entry.result_cache) > self.result_cache_size:
+            entry.result_cache.popitem(last=False)
 
     def _execute_default(self, entry: ModelEntry,
                          requests: List[ServiceRequest]) -> List[Optional[CachedVerdict]]:

@@ -14,7 +14,6 @@ the analogue of the real deterministic-mode overhead.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping
 
@@ -24,6 +23,7 @@ from repro.graph.graph import GraphModule
 from repro.graph.interpreter import Interpreter
 from repro.tensorlib.accumulate import AccumulationStrategy
 from repro.tensorlib.device import DeviceProfile
+from repro.utils.timing import now
 
 
 def deterministic_profile(device: DeviceProfile) -> DeviceProfile:
@@ -87,17 +87,17 @@ def measure_determinism_overhead(
     fast.run(graph_module, inputs_list[0])
     deterministic.run(graph_module, inputs_list[0])
 
-    start = time.perf_counter()
+    start = now()
     for _ in range(repeats):
         for sample in inputs_list:
             fast.run(graph_module, sample)
-    fast_latency = time.perf_counter() - start
+    fast_latency = now() - start
 
-    start = time.perf_counter()
+    start = now()
     for _ in range(repeats):
         for sample in inputs_list:
             deterministic.run(graph_module, sample)
-    det_latency = time.perf_counter() - start
+    det_latency = now() - start
 
     first = deterministic.run(graph_module, inputs_list[0])
     second = deterministic.run(graph_module, inputs_list[0])

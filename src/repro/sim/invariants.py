@@ -14,7 +14,9 @@ Three invariant families, checked after every scenario:
 
 **Liveness**
   * L1 — every accepted request reaches a terminal coordinator status by the
-    end of its drain (no task left ``pending``, no dispute left open).
+    end of its drain (no task left ``pending``, no dispute left open, and no
+    request stranded on a service queue — a pipelined drain must hand every
+    admitted cycle back, not just the ones that cleared every stage).
   * L2 — rejected requests are terminal too, and never touched the chain.
 
 **Conservation**
@@ -214,6 +216,13 @@ def _check_liveness(result: "SimulationResult") -> List[InvariantViolation]:
                     f"dispute {dispute.dispute_id} left in phase "
                     f"{dispute.phase.value!r}",
                 ))
+    stranded = int(getattr(result.service, "pending_count", 0))
+    if stranded:
+        out.append(InvariantViolation(
+            "liveness", "L1",
+            f"{stranded} request(s) left on the service queue after the "
+            f"final drain",
+        ))
     for outcome in result.outcomes:
         if outcome.rejected and outcome.challenged:
             out.append(InvariantViolation(

@@ -9,7 +9,10 @@ chain — or, when the scenario sets ``num_shards`` > 1, to an ordinary
 chain (both implement :class:`~repro.protocol.service.ServiceCore`, so the
 drive loop is identical).  ``drain_home_at_cycle`` injects a shard failover
 between a cycle's submissions and its drain, re-dispatching the in-flight
-events across shards.  What comes back — coordinator statuses, dispute
+events across shards.  ``Scenario(pipelined=..., cycle_capacity=...)``
+selects the drain path: the stage-pipelined drain (with small cycles so
+faulty dispute rounds genuinely overlap later cycles' execution) or the
+synchronous reference — the invariant families apply identically to both.  What comes back — coordinator statuses, dispute
 outcomes, the transaction log, the ledger — is handed to the invariant
 checker untouched.
 
@@ -171,6 +174,8 @@ def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
             leaf_path=scenario.leaf_path,
             committee_size=scenario.committee_size,
             hash_cache=workload.hash_cache,
+            enable_pipeline=scenario.pipelined,
+            cycle_capacity=scenario.cycle_capacity,
         )
     else:
         service = TAOService(
@@ -179,6 +184,8 @@ def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
             leaf_path=scenario.leaf_path,
             committee_size=scenario.committee_size,
             hash_cache=workload.hash_cache,
+            enable_pipeline=scenario.pipelined,
+            cycle_capacity=scenario.cycle_capacity,
         )
     session_kwargs = {}
     if scenario.colluding_committee:

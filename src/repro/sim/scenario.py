@@ -89,6 +89,14 @@ class Scenario:
     #: requests are withdrawn and re-dispatched to the ring's next node,
     #: exercising failover under whatever faults the cycle carries.
     drain_home_at_cycle: Optional[int] = None
+    #: Whether the service drains on the stage pipeline (the service
+    #: default) or the synchronous reference path.  Pipelining only overlaps
+    #: when a drain spans several cycles — pair with ``cycle_capacity``.
+    pipelined: bool = True
+    #: Per-cycle request cap handed to the service (clamped to the protocol
+    #: bound).  Small values split one burst into many in-flight cycles, so
+    #: faulty disputes of cycle N genuinely overlap execution of cycle N+1.
+    cycle_capacity: Optional[int] = None
     magnitudes: Tuple[Tuple[str, float], ...] = tuple(sorted(DEFAULT_MAGNITUDES.items()))
 
     def magnitude_for(self, kind: str) -> float:

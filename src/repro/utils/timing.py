@@ -1,10 +1,21 @@
-"""Lightweight latency timing used by the dispute-game microbenchmarks.
+"""The consolidated clocks behind every latency and busy-time measurement.
 
 All latency measurement in this repository reads :func:`now` — an alias for
 :func:`time.perf_counter` — rather than ``time.time()``: the performance
 counter is monotonic (immune to NTP/wall-clock adjustments) and has
 sub-millisecond resolution, which matters because per-round dispute substeps
 and per-request service latencies are routinely well under a millisecond.
+
+No module outside this one may call ``time.perf_counter`` directly (guarded
+by ``tests/test_utils_rng_timing.py``): routing every read through these
+aliases keeps the whole stack on one virtualizable clock, which the
+pipeline's latency accounting — and any future simulated-time harness —
+depends on.
+
+:func:`thread_now` is the busy-time counterpart: per-thread CPU seconds,
+used by the cluster's shard workers and the pipeline's stage workers to
+measure their *own* demand independently of how many cores this host has or
+how the GIL interleaves them.
 """
 
 from __future__ import annotations
@@ -15,6 +26,9 @@ from typing import Dict, List
 
 #: The canonical latency clock: monotonic, sub-ms resolution.
 now = time.perf_counter
+
+#: The canonical busy-time clock: CPU seconds consumed by the calling thread.
+thread_now = time.thread_time
 
 
 @dataclass

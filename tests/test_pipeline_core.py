@@ -1,0 +1,216 @@
+"""The stage-pipelined executor: ordering, lanes, backpressure, failure.
+
+These tests pin the properties the pipelined service drain is built on:
+
+* results come back in submission order and every stage sees items in order;
+* stages sharing a serial lane execute in item-major protocol order — the
+  exact sequence a synchronous loop over the stages would produce;
+* bounded hand-off queues and admission control actually bound how many
+  items are in flight (backpressure, not buffering);
+* a stage exception aborts the whole pipeline promptly and re-raises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import (
+    HandoffQueue,
+    Pipeline,
+    PipelineAborted,
+    SerialLane,
+    StageDef,
+)
+
+
+def test_results_in_submission_order_and_stagewise_fifo():
+    seen = {"a": [], "b": []}
+
+    def stage_a(item):
+        seen["a"].append(item)
+        if item % 3 == 0:
+            time.sleep(0.002)  # uneven stage time must not reorder anything
+        return item * 10
+
+    def stage_b(item):
+        seen["b"].append(item)
+        return item + 1
+
+    pipeline = Pipeline([StageDef("a", stage_a), StageDef("b", stage_b)])
+    results = pipeline.run(list(range(12)))
+    assert results == [i * 10 + 1 for i in range(12)]
+    assert seen["a"] == list(range(12))
+    assert seen["b"] == [i * 10 for i in range(12)]
+    stats = pipeline.stats
+    assert stats.items == 12
+    assert [s.items for s in stats.stages] == [12, 12]
+    assert stats.busy_total_s >= stats.critical_path_s >= 0.0
+
+
+def test_serial_lane_enforces_protocol_order():
+    """Lane stages interleave item-major: s(0), d(0), s(1), d(1), ..."""
+    log = []
+
+    def settle(item):
+        log.append(("settle", item))
+        return item
+
+    def dispute(item):
+        log.append(("dispute", item))
+        return item
+
+    pipeline = Pipeline([
+        StageDef("compute", lambda item: item),
+        StageDef("settle", settle, lane="chain"),
+        StageDef("dispute", dispute, lane="chain"),
+    ], queue_depth=3)
+    pipeline.run(list(range(8)))
+    expected = []
+    for index in range(8):
+        expected.extend([("settle", index), ("dispute", index)])
+    assert log == expected
+
+
+def test_lane_free_stages_overlap_while_lane_stays_serial():
+    """A slow lane-free stage runs concurrently with the lane stages."""
+    in_execute = threading.Event()
+    saw_overlap = threading.Event()
+
+    def execute(item):
+        in_execute.set()
+        time.sleep(0.005)
+        in_execute.clear()
+        return item
+
+    def settle(item):
+        if in_execute.is_set():
+            saw_overlap.set()
+        return item
+
+    pipeline = Pipeline([
+        StageDef("execute", execute),
+        StageDef("settle", settle, lane="chain"),
+    ])
+    pipeline.run(list(range(6)))
+    assert saw_overlap.is_set()
+
+
+def test_admission_control_bounds_items_in_flight():
+    active = []
+    high_water = []
+    lock = threading.Lock()
+
+    def enter(item):
+        with lock:
+            active.append(item)
+            high_water.append(len(active))
+        time.sleep(0.002)
+        return item
+
+    def leave(item):
+        with lock:
+            active.remove(item)
+        return item
+
+    pipeline = Pipeline([StageDef("enter", enter), StageDef("leave", leave)],
+                        queue_depth=1, max_in_flight=2)
+    pipeline.run(list(range(10)))
+    assert max(high_water) <= 2
+
+
+def test_backpressure_blocks_the_producer():
+    queue = HandoffQueue(capacity=1, name="narrow")
+    queue.put("x")
+    release = threading.Timer(0.02, queue.get)
+    release.start()
+    queue.put("y")  # must block until the timer drains one slot
+    release.join()
+    assert queue.put_wait_s > 0.0
+    assert queue.max_depth == 1
+
+
+def test_stage_failure_aborts_and_reraises():
+    def explode(item):
+        if item == 3:
+            raise ValueError("stage blew up on item 3")
+        return item
+
+    pipeline = Pipeline([
+        StageDef("pre", lambda item: item),
+        StageDef("explode", explode, lane="chain"),
+        StageDef("post", lambda item: item, lane="chain"),
+    ], queue_depth=1)
+    with pytest.raises(ValueError, match="item 3"):
+        pipeline.run(list(range(50)))  # far more items than queue slots
+
+
+def test_aborted_queue_and_lane_raise():
+    queue = HandoffQueue(capacity=1)
+    queue.abort()
+    with pytest.raises(PipelineAborted):
+        queue.put("x")
+    with pytest.raises(PipelineAborted):
+        queue.get()
+    lane = SerialLane("chain", [0, 1])
+    lane.abort()
+    with pytest.raises(PipelineAborted):
+        lane.acquire(0, 0)
+
+
+def test_empty_run_and_validation():
+    pipeline = Pipeline([StageDef("noop", lambda item: item)])
+    assert pipeline.run([]) == []
+    with pytest.raises(ValueError):
+        Pipeline([])
+    with pytest.raises(ValueError):
+        HandoffQueue(capacity=0)
+
+
+def test_critical_path_groups_lane_stages():
+    stats = Pipeline([
+        StageDef("a", lambda i: i),
+        StageDef("b", lambda i: i, lane="chain"),
+        StageDef("c", lambda i: i, lane="chain"),
+    ]).stats
+    stats.stages[0].busy_cpu_s = 5.0
+    stats.stages[1].busy_cpu_s = 3.0
+    stats.stages[2].busy_cpu_s = 3.0
+    # The lane serializes b+c (6s) which beats the free stage a (5s).
+    assert stats.critical_path_s == pytest.approx(6.0)
+    assert stats.busy_total_s == pytest.approx(11.0)
+    assert stats.overlap_speedup == pytest.approx(11.0 / 6.0)
+
+
+def test_lane_stage_failure_does_not_hand_on_the_ticket():
+    """A failing lane stage must abort before its lane ticket is handed on.
+
+    If the worker released the lane first, the next item's lane stage could
+    wake and commit its (chain) side effects after the pipeline had already
+    failed — stranding that item beyond what a retry can recover.  The
+    failing dispute(0) below sleeps long enough for settle(1) to be parked
+    in lane.acquire; on failure settle(1) must raise out of the lane, never
+    run.
+    """
+    ran = []
+
+    def settle(item):
+        ran.append(("settle", item))
+        return item
+
+    def dispute(item):
+        if item == 0:
+            time.sleep(0.01)  # let settle(1) reach lane.acquire and park
+            raise RuntimeError("dispute blew up")
+        ran.append(("dispute", item))
+        return item
+
+    pipeline = Pipeline([
+        StageDef("settle", settle, lane="chain"),
+        StageDef("dispute", dispute, lane="chain"),
+    ], queue_depth=2)
+    with pytest.raises(RuntimeError, match="dispute blew up"):
+        pipeline.run([0, 1, 2])
+    assert ran == [("settle", 0)]

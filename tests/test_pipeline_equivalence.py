@@ -1,0 +1,174 @@
+"""Differential pin: the pipelined drain is byte-identical to the reference.
+
+One seeded, dispute-heavy, multi-tenant schedule — honest traffic, repeated
+payloads (cache hits within and across cycles), adversarial proposers whose
+disputes multiplex, forced challenges, malformed payloads — is played
+through
+
+* :meth:`~repro.protocol.service.TAOService.drain_reference` (stages run
+  strictly in sequence, the seed semantics), and
+* the stage-pipelined drain with small cycles, so hash/execute of later
+  cycles genuinely overlap the chain lane of earlier ones,
+
+and the two runs must produce **byte-identical per-request verdicts**
+(statuses, execution-commitment bytes, dispute localization/rounds/gas) and
+an **exactly equal ledger** — the same balance for every account and the
+same minted total, float equality with no tolerance.  The chain-transaction
+log lengths must match too: the pipeline reorders *work*, never protocol
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.graph import trace_module
+from repro.protocol import TAOService
+
+NUM_TENANTS = 3
+ROUNDS = 10  # requests per tenant
+CYCLE_CAPACITY = 3
+
+
+@pytest.fixture(scope="module")
+def tenant_graphs(mlp_module, mlp_input_factory):
+    return [trace_module(mlp_module, mlp_input_factory(0), name=f"pipe_tenant_{i}")
+            for i in range(NUM_TENANTS)]
+
+
+def _schedule() -> List[Tuple[int, int, str]]:
+    """Seeded (tenant, payload_seed, kind) rows; dispute-heavy by design."""
+    rng = np.random.default_rng(42_2026)
+    events: List[Tuple[int, int, str]] = []
+    for round_index in range(ROUNDS):
+        for tenant in range(NUM_TENANTS):
+            roll = rng.random()
+            if roll < 0.20:
+                kind = "cheat"       # adversarial proposer -> dispute game
+            elif roll < 0.32:
+                kind = "force"       # forced challenge on an honest result
+            elif roll < 0.38:
+                kind = "malformed"   # rejected before touching the chain
+            else:
+                kind = "honest"
+            payload_seed = 600 + tenant * 16 + round_index % 4  # repeats
+            events.append((tenant, payload_seed, kind))
+    return events
+
+
+def _victim(graph) -> str:
+    return next(node.name for node in graph.graph.operators
+                if node.target == "relu")
+
+
+def _drive(graphs, thresholds, input_factory, *,
+           pipelined: bool) -> TAOService:
+    service = TAOService(n_way=2, cycle_capacity=CYCLE_CAPACITY,
+                         enable_pipeline=pipelined)
+    sessions = {}
+    for graph in graphs:
+        sessions[graph.name] = service.register_model(
+            graph, threshold_table=thresholds)
+    for tenant, payload_seed, kind in _schedule():
+        graph = graphs[tenant]
+        proposer = None
+        inputs = input_factory(payload_seed)
+        if kind == "cheat":
+            proposer = sessions[graph.name].make_adversarial_proposer(
+                f"{graph.name}-cheat-{payload_seed}",
+                {_victim(graph): np.float32(0.05)},
+            )
+        elif kind == "malformed":
+            inputs = {"x": np.zeros((4, 7), dtype=np.float32)}  # wrong d_in
+        service.submit(graph.name, inputs, proposer=proposer,
+                       force_challenge=(kind == "force"))
+    if pipelined:
+        service.process()
+    else:
+        service.drain_reference()
+    return service
+
+
+def _fingerprint(request) -> Tuple:
+    """Everything the protocol lets a client observe about one request."""
+    report = request.report
+    if report is None:
+        return (request.status, request.error is not None)
+    dispute = report.dispute
+    return (
+        request.status,
+        report.final_status,
+        report.finalized_optimistically,
+        bytes(report.result.commitment.value),
+        tuple(bool(r.exceeded) for r in report.verification_reports),
+        None if dispute is None else (
+            dispute.proposer_cheated,
+            dispute.localized_operator,
+            dispute.resolved_by_timeout,
+            dispute.statistics.rounds,
+            dispute.statistics.gas_used,
+        ),
+    )
+
+
+def test_pipelined_drain_matches_reference(tenant_graphs, mlp_thresholds,
+                                           mlp_input_factory):
+    reference = _drive(tenant_graphs, mlp_thresholds, mlp_input_factory,
+                       pipelined=False)
+    pipelined = _drive(tenant_graphs, mlp_thresholds, mlp_input_factory,
+                       pipelined=True)
+
+    total = NUM_TENANTS * ROUNDS
+    # Byte-identical per-request verdicts, in submission order.
+    for request_id in range(total):
+        assert _fingerprint(pipelined.request(request_id)) == \
+            _fingerprint(reference.request(request_id)), f"request {request_id}"
+
+    # Exact ledger equality: every account, every balance, the minted total.
+    ref_chain = reference.coordinator.chain
+    pipe_chain = pipelined.coordinator.chain
+    assert dict(pipe_chain.balances) == dict(ref_chain.balances)
+    assert pipe_chain.minted == ref_chain.minted
+    assert sum(pipe_chain.balances.values()) == pipe_chain.minted
+
+    # Protocol events were reordered never: same transaction log shape.
+    assert len(pipe_chain.transactions) == len(ref_chain.transactions)
+    assert [tx.action for tx in pipe_chain.transactions] == \
+        [tx.action for tx in ref_chain.transactions]
+
+    # The workload was genuinely dispute-heavy and genuinely overlapped.
+    ref_stats, pipe_stats = reference.stats(), pipelined.stats()
+    assert ref_stats.disputes_opened >= 6
+    assert ref_stats.cache_hits >= 4
+    assert ref_stats.status_counts.get("rejected", 0) >= 1
+    assert ref_stats.pipelined_drains == 0
+    assert pipe_stats.pipelined_drains == 1
+    assert pipelined.last_pipeline_stats is not None
+    assert pipelined.last_pipeline_stats.items == -(-total // CYCLE_CAPACITY)
+    # The chain lane serializes settle+dispute; hash+execute are lane-free.
+    lanes = {s.name: s.lane for s in pipelined.last_pipeline_stats.stages}
+    assert lanes == {"hash": None, "execute": None,
+                     "settle": "chain", "dispute": "chain"}
+
+
+def test_reference_and_pipelined_stats_account_the_same_work(
+        tenant_graphs, mlp_thresholds, mlp_input_factory):
+    """Both drains complete every request and agree on protocol counters."""
+    reference = _drive(tenant_graphs, mlp_thresholds, mlp_input_factory,
+                       pipelined=False)
+    pipelined = _drive(tenant_graphs, mlp_thresholds, mlp_input_factory,
+                       pipelined=True)
+    ref_stats, pipe_stats = reference.stats(), pipelined.stats()
+    for field in ("requests_submitted", "requests_completed", "cache_hits",
+                  "disputes_opened", "dispute_rounds", "status_counts"):
+        assert getattr(pipe_stats, field) == getattr(ref_stats, field), field
+    # Busy accounting exists on both paths; the modeled critical path of the
+    # pipelined drain can only be at or below its own total demand.
+    assert ref_stats.busy_cpu_s > 0
+    assert pipe_stats.busy_cpu_s > 0
+    assert pipe_stats.pipeline_critical_s <= pipe_stats.busy_cpu_s
+    assert set(pipe_stats.stage_busy_s) == {"hash", "execute",
+                                            "settle", "dispute"}

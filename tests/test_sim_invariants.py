@@ -26,6 +26,7 @@ import pytest
 
 from repro.calibration import CalibrationConfig, Calibrator, ThresholdTable
 from repro.protocol.coordinator import TaskStatus
+from repro.sim.invariants import TERMINAL_STATUSES
 from repro.sim import (
     FAULT_KINDS,
     InvariantViolation,
@@ -57,7 +58,7 @@ RUN_STATS = {
     "completed_sweeps": set(),
 }
 
-CAMPAIGN_SWEEPS = {"mlp", "cluster"} | set(ZOO_WORKLOADS)
+CAMPAIGN_SWEEPS = {"mlp", "cluster", "pipelined"} | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -174,6 +175,83 @@ def test_randomized_cluster_scenarios_uphold_all_invariants(sim_mlp_workload):
             failovers_exercised += 1
     assert failovers_exercised == 8
     RUN_STATS["completed_sweeps"].add("cluster")
+
+
+def test_randomized_pipelined_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """24 seeded scenarios against the stage-pipelined drain, faults included.
+
+    ``cycle_capacity`` 1-2 splits each burst into many in-flight cycles, so
+    the chain lane of one cycle (dispute stalls via dropped moves, late
+    challenger moves, tamper bisections) genuinely overlaps hash/execute of
+    later cycles.  Every third scenario runs the pipelined drain on 2-3
+    cluster shards — the fleet-wide invariant families (shared-ledger
+    conservation, shard-tagged gas partition) must hold on pipelined shards
+    exactly as they do on synchronous ones.
+    """
+    stall_kinds = ("drop_partition", "drop_selection", "late_move")
+    for seed in range(24):
+        scenario = Scenario(
+            name=f"pipelined-{seed}",
+            seed=3400 + seed,
+            model="tiny_mlp",
+            num_requests=6 + seed % 3,
+            fault_rate=0.55,
+            # Dispute stalls and late moves ride along with strong tampers,
+            # so the overlapped chain lane sees timeout forfeits, slow
+            # selections and full bisections interleaved across cycles.
+            fault_kinds=("bit_flip", "wrong_weight") + stall_kinds,
+            burst="uniform",
+            n_way=2 + (seed % 3),
+            leaf_path=LEAF_PATHS[seed % 3],
+            strict_localization=True,
+            pipelined=True,
+            cycle_capacity=1 + seed % 2,
+            num_shards=2 + seed % 2 if seed % 3 == 0 else 1,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        # The pipeline really engaged: every uniform burst spans > 1 cycle.
+        stats = result.service.stats()
+        assert stats.pipelined_drains >= 1, scenario.name
+    stalls_seen = sum(RUN_STATS["kinds"][kind] for kind in stall_kinds)
+    assert stalls_seen > 0, "pipelined sweep scheduled no dispute stalls"
+    RUN_STATS["completed_sweeps"].add("pipelined")
+
+
+def test_pipelined_cluster_drain_redispatches_exactly_once(sim_mlp_workload):
+    """Mid-cycle shard drain on a *pipelined* cluster: exactly-once re-dispatch.
+
+    The home shard is administratively drained with a submitted cycle still
+    queued; its events (faulty actors included) must be withdrawn and
+    re-dispatched to the ring successor exactly once each — the pipelined
+    drain on the fallback shard must neither lose a withdrawn request nor
+    process one twice — and every invariant family must hold fleet-wide.
+    """
+    scenario = Scenario(
+        name="pipelined-failover", seed=81, model="tiny_mlp",
+        num_requests=8, fault_rate=0.6, force_challenge_rate=0.2,
+        fault_kinds=("bit_flip", "wrong_weight", "late_move"),
+        burst="front", strict_localization=True,
+        num_shards=3, drain_home_at_cycle=1,
+        pipelined=True, cycle_capacity=1,
+    )
+    result = run_scenario(scenario, sim_mlp_workload)
+    _assert_clean(result)
+    _record(result)
+    cluster = result.service
+    assert cluster.failovers >= 1
+    redispatched = [record for record in cluster._requests.values()
+                    if record.redispatched > 0]
+    assert redispatched, "the drain withdrew nothing — no failover exercised"
+    assert all(record.redispatched == 1 for record in redispatched)
+    assert cluster.redispatched_requests == len(redispatched)
+    # Withdrawn requests completed exactly once, on the fallback shard.
+    drained = {sid for sid, shard in cluster.shards.items() if shard.drained}
+    for record in redispatched:
+        assert record.shard_id not in drained
+        assert record.resolve().status in TERMINAL_STATUSES
+    assert cluster.stats().requests_completed == scenario.num_requests
 
 
 def test_cluster_failover_under_dispute(sim_mlp_workload):

@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import trace_module
+from repro.graph import Module, Parameter, trace_module
+from repro.graph import functional as F
 from repro.protocol import TAOService, TAOSession
 from repro.protocol.coordinator import TaskStatus
 
@@ -265,3 +266,265 @@ def test_every_request_is_a_coordinator_task(service, mlp_input_factory):
     assert len(task_ids) == 5
     for task_id in task_ids:
         assert service.coordinator.task(task_id).status is TaskStatus.FINALIZED
+
+
+# ----------------------------------------------------------------------
+# Result-cache LRU bound (regression: eviction must run on every insert)
+# ----------------------------------------------------------------------
+
+def test_result_cache_bound_holds_under_mixed_traffic(mlp_graph, mlp_thresholds,
+                                                      mlp_input_factory):
+    """``len(result_cache) <= result_cache_size`` throughout hit/miss storms.
+
+    Every insert path must evict: a cache touched by hits (``move_to_end``)
+    but grown past its bound by inserts would pin unboundedly many recorded
+    traces.  The traffic mixes cross-cycle hits, in-cycle duplicates and a
+    rotating miss set larger than the cache, across many drains and both
+    drain paths.
+    """
+    bound = 3
+    service = TAOService(n_way=2, result_cache_size=bound, cycle_capacity=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    entry = service.model("tiny_mlp")
+
+    for wave in range(8):
+        for i in range(6):
+            seed = 800 + (wave * 3 + i) % 9   # 9 distinct payloads > bound
+            service.submit("tiny_mlp", mlp_input_factory(seed))
+        service.submit("tiny_mlp", mlp_input_factory(800))  # in-cycle dupe bait
+        if wave % 2 == 0:
+            service.process()                  # pipelined drain (4 cycles)
+        else:
+            service.drain_reference()          # synchronous drain
+        assert len(entry.result_cache) <= bound, f"wave {wave}"
+
+    stats = service.stats()
+    assert stats.cache_hits > 0                 # hits really interleaved
+    assert stats.requests_completed == 8 * 7
+    assert len(entry.result_cache) == bound     # steady state: full, not over
+
+
+def test_adopt_model_enforces_local_cache_bound(mlp_graph, mlp_thresholds,
+                                                mlp_input_factory):
+    """A migrated tenant's cache is trimmed to the adopting service's bound.
+
+    ``adopt_model`` is an insert path too: the entry arrives with the source
+    shard's bound, and without eviction at adoption the destination would
+    hold an oversized cache until its next insert.
+    """
+    source = TAOService(n_way=2, result_cache_size=8)
+    source.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    for i in range(5):
+        source.submit("tiny_mlp", mlp_input_factory(850 + i))
+    source.process()
+    entry = source.model("tiny_mlp")
+    assert len(entry.result_cache) == 5
+    newest = list(entry.result_cache)[-2:]
+
+    destination = TAOService(coordinator=source.coordinator, n_way=2,
+                             result_cache_size=2)
+    migrated = source.detach_model("tiny_mlp")
+    destination.adopt_model(migrated)
+    assert len(migrated.result_cache) == 2
+    # LRU trim: the most recently used entries survive the migration.
+    assert list(migrated.result_cache) == newest
+
+
+# ----------------------------------------------------------------------
+# Ragged batches: the engine's stacking fallback through the full service
+# ----------------------------------------------------------------------
+
+class _ElasticHead(Module):
+    """Elementwise-only head: accepts any trailing width at execution."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.scale = Parameter(np.asarray([1.5], dtype=np.float32))
+
+    def forward(self, x):
+        return F.sigmoid(F.mul(F.relu(x), self.scale))
+
+
+def _elastic_inputs(seed: int, width: int = 8) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal((4, width)).astype(np.float32)}
+
+
+def test_ragged_trailing_batch_falls_back_per_request(mlp_input_factory):
+    """A batch with ragged trailing shapes completes with correct verdicts.
+
+    ``ExecutionEngine.run_batch`` cannot stack requests whose trailing
+    shapes disagree; its signature probe returns ``None`` and the service
+    must fall back to per-request execution — never crash on a failed
+    ``concatenate`` and never drop the odd-shaped request.
+    """
+    graph = trace_module(_ElasticHead(), _elastic_inputs(0), name="elastic")
+    service = TAOService(n_way=2)
+    service.register_model(
+        graph, calibration_inputs=[_elastic_inputs(900 + i) for i in range(8)])
+
+    widths = [8, 8, 12, 8, 16]
+    ids = [service.submit("elastic", _elastic_inputs(910 + i, width))
+           for i, width in enumerate(widths)]
+    processed = service.process()
+    assert len(processed) == len(widths)
+
+    for request_id, width in zip(ids, widths):
+        request = service.request(request_id)
+        assert request.status == TaskStatus.FINALIZED.value
+        assert not request.batched          # stacking fell back, per request
+        assert request.report is not None
+        output = request.report.result.outputs[0]
+        assert output.shape == (4, width)   # the ragged payload's own answer
+        expected = 1.0 / (1.0 + np.exp(-np.maximum(
+            service.request(request_id).inputs["x"], 0.0) * np.float32(1.5)))
+        np.testing.assert_allclose(output, expected, rtol=1e-5, atol=1e-6)
+    assert service.stats().batched_requests == 0
+
+
+def test_ragged_trailing_batch_through_cluster(mlp_input_factory):
+    """The same ragged stream through a sharded, pipelined cluster."""
+    from repro.cluster import TAOCluster
+
+    graph = trace_module(_ElasticHead(), _elastic_inputs(0), name="elastic_c")
+    cluster = TAOCluster(num_shards=2, n_way=2, cycle_capacity=2)
+    cluster.register_model(
+        graph, calibration_inputs=[_elastic_inputs(920 + i) for i in range(8)])
+    ids = [cluster.submit("elastic_c", _elastic_inputs(930 + i, width))
+           for i, width in enumerate([8, 12, 8, 16, 8])]
+    cluster.process()
+    for request_id in ids:
+        assert cluster.request(request_id).status == TaskStatus.FINALIZED.value
+    assert sum(cluster.chain.balances.values()) == cluster.chain.minted
+
+
+def test_stage_failure_requeues_unprocessed_requests(mlp_graph, mlp_thresholds,
+                                                     mlp_input_factory):
+    """A mid-drain stage failure must not strand admitted requests.
+
+    The drain admits all cycles up-front; if a stage raises (here: a
+    transient chain failure while settling the second cycle), every request
+    that never produced a chain-side effect goes back to the queue head in
+    order, so a retry drain serves it exactly once — no lost requests, no
+    double-submitted tasks.
+    """
+    service = TAOService(n_way=2, cycle_capacity=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    ids = [service.submit("tiny_mlp", mlp_input_factory(860 + i))
+           for i in range(8)]
+
+    real_submit = service.coordinator.submit_result
+    state = {"calls": 0, "armed": True}
+
+    def flaky_submit(*args, **kwargs):
+        state["calls"] += 1
+        if state["armed"] and state["calls"] == 3:  # second cycle's settle
+            raise RuntimeError("transient chain failure")
+        return real_submit(*args, **kwargs)
+
+    service.coordinator.submit_result = flaky_submit
+    with pytest.raises(RuntimeError, match="transient chain failure"):
+        service.drain_reference()
+
+    # The first cycle completed; every untouched request is queued again.
+    assert service.pending_count == 6
+    for request_id in ids[:2]:
+        assert service.request(request_id).status in TERMINAL
+
+    state["armed"] = False
+    processed = service.process()
+    assert len(processed) == 6
+    for request_id in ids:
+        assert service.request(request_id).status in TERMINAL
+    # Exactly-once: one coordinator task per request, ledger conserved.
+    assert len({service.request(i).report.task.task_id for i in ids}) == 8
+    chain = service.coordinator.chain
+    assert sum(chain.balances.values()) == chain.minted
+
+
+def test_stage_failure_marks_settled_requests_stranded(mlp_graph, mlp_thresholds,
+                                                       mlp_input_factory):
+    """A request settled before the failure cannot be re-run — but it must
+    not be left silently ``queued`` forever either.
+
+    Failing on the *second* submit of a cycle leaves the first request with
+    a coordinator task already on chain and no dispute stage to close the
+    cycle.  Re-processing would double-submit, so the service marks it
+    ``stranded`` with the pending task named in ``.error``; everything that
+    never reached the chain is requeued and a retry serves it normally.
+    """
+    service = TAOService(n_way=2, cycle_capacity=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    ids = [service.submit("tiny_mlp", mlp_input_factory(880 + i))
+           for i in range(6)]
+
+    real_submit = service.coordinator.submit_result
+    state = {"calls": 0, "armed": True}
+
+    def flaky_submit(*args, **kwargs):
+        state["calls"] += 1
+        if state["armed"] and state["calls"] == 2:  # second request, cycle 1
+            raise RuntimeError("transient chain failure")
+        return real_submit(*args, **kwargs)
+
+    service.coordinator.submit_result = flaky_submit
+    with pytest.raises(RuntimeError, match="transient chain failure"):
+        service.drain_reference()
+
+    stranded = service.request(ids[0])
+    assert stranded.status == "stranded"
+    assert stranded.report is not None
+    assert str(stranded.report.task.task_id) in stranded.error
+    # Visible to monitoring, not just per-request inspection.
+    assert service.stats().status_counts.get("stranded") == 1
+    # The one the failure hit never reached the chain: requeued, not stranded.
+    assert service.request(ids[1]).status == "queued"
+    assert service.pending_count == 5
+
+    state["armed"] = False
+    service.process()
+    for request_id in ids[1:]:
+        assert service.request(request_id).status in TERMINAL
+    # The stranded request's verdict record survives for the operator; its
+    # task is still pending on chain, and the ledger stayed conserved.
+    assert service.request(ids[0]).status == "stranded"
+    chain = service.coordinator.chain
+    assert sum(chain.balances.values()) == chain.minted
+
+
+def test_stage_failure_after_finalize_adopts_task_status(mlp_graph,
+                                                         mlp_thresholds,
+                                                         mlp_input_factory):
+    """A failure *inside* the dispute stage must not relabel finished work.
+
+    If try_finalize succeeds for the first request and raises for the
+    second, the first request's protocol lifecycle is complete — the unwind
+    adopts the task's terminal status instead of calling it stranded (and
+    pointing an operator at a pending task that does not exist).
+    """
+    service = TAOService(n_way=2, cycle_capacity=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    first = service.submit("tiny_mlp", mlp_input_factory(890))
+    second = service.submit("tiny_mlp", mlp_input_factory(891))
+
+    real_finalize = service.coordinator.try_finalize
+    state = {"calls": 0}
+
+    def flaky_finalize(*args, **kwargs):
+        state["calls"] += 1
+        if state["calls"] == 2:
+            raise RuntimeError("transient chain failure")
+        return real_finalize(*args, **kwargs)
+
+    service.coordinator.try_finalize = flaky_finalize
+    with pytest.raises(RuntimeError, match="transient chain failure"):
+        service.drain_reference()
+
+    assert service.request(first).status == TaskStatus.FINALIZED.value
+    assert service.request(first).error is None
+    stranded = service.request(second)
+    assert stranded.status == "stranded"
+    assert "'pending'" in stranded.error
+    counts = service.stats().status_counts
+    assert counts.get(TaskStatus.FINALIZED.value, 0) >= 1
+    assert counts.get("stranded") == 1
