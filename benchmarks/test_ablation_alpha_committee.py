@@ -38,7 +38,8 @@ HELD_OUT_INPUTS = 4
 class _ColludingMember(CommitteeMember):
     """A committee member that always votes for the proposer."""
 
-    def vote(self, graph_module, operator_name, operand_values, proposer_output, thresholds):
+    def vote(self, graph_module, operator_name, operand_values, proposer_output,
+             thresholds, committee_envelope=None):
         return CommitteeVoteRecord(self.name, True, None)
 
 

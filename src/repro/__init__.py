@@ -43,7 +43,14 @@ Quickstart::
 """
 
 from repro.bounds import BoundInterpreter, BoundMode
-from repro.calibration import Calibrator, CalibrationConfig, ThresholdTable
+from repro.calibration import (
+    CalibrationConfig,
+    Calibrator,
+    CommitteeEnvelopeConfig,
+    CommitteeEnvelopeProfile,
+    ThresholdTable,
+    calibrate_committee_envelope,
+)
 from repro.cluster import ConsistentHashRing, TAOCluster
 from repro.engine import ExecutionEngine, ExecutionPlan
 from repro.graph import GraphModule, Interpreter, Module, Parameter, Tracer, trace_module
@@ -68,6 +75,9 @@ __all__ = [
     "BoundMode",
     "Calibrator",
     "CalibrationConfig",
+    "CommitteeEnvelopeConfig",
+    "CommitteeEnvelopeProfile",
+    "calibrate_committee_envelope",
     "ThresholdTable",
     "ExecutionEngine",
     "ExecutionPlan",

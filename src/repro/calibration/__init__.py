@@ -12,7 +12,18 @@ at the leaf.
 :mod:`repro.calibration.stability` implements the Appendix-B diagnostics
 (SupNorm, Jackknife, TailAdj, RollSD) that validate the profiles are stable
 in the number of calibration samples (Table 1).
+
+:mod:`repro.calibration.committee` calibrates the committee leaf's own
+single-operator acceptance envelope (proposer trace output vs. member
+re-execution per device pair), committed alongside the threshold root so the
+leaf's decision rule is pinned on chain — see ``docs/protocol.md``.
 """
+
+from repro.calibration.committee import (
+    CommitteeEnvelopeConfig,
+    CommitteeEnvelopeProfile,
+    calibrate_committee_envelope,
+)
 
 from repro.calibration.profiles import (
     PERCENTILE_GRID,
@@ -41,6 +52,9 @@ from repro.calibration.stability import (
 
 __all__ = [
     "PERCENTILE_GRID",
+    "CommitteeEnvelopeConfig",
+    "CommitteeEnvelopeProfile",
+    "calibrate_committee_envelope",
     "OperatorCalibration",
     "PercentileProfile",
     "percentile_profile",

@@ -349,6 +349,10 @@ class TAOCluster(ServiceCore):
             metadata={"alpha": self.alpha,
                       "num_operators": graph_module.num_operators},
             cache=self.hash_cache,
+            # The committee envelope (threaded to the session below) is part
+            # of what was committed, so it participates in the routing key —
+            # placement stays a pure function of the commitment digest.
+            committee_envelope=session_kwargs.get("committee_envelope"),
         )
         key = commitment.digest()
         home = self.ring.node_for(key)

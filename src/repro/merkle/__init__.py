@@ -1,11 +1,12 @@
 """Merkle commitments (paper Sec. 5.2).
 
 The model owner commits to weights (root ``r_w``), graph structure (root
-``r_g``) and calibrated thresholds (root ``r_e``); the proposer commits to
-each execution (``C0``) and, during disputes, to subgraph interfaces.  All of
-these are SHA-256 Merkle trees over canonical byte serializations, with
-logarithmic-depth inclusion proofs so the coordinator can verify any revealed
-leaf against the recorded roots.
+``r_g``), calibrated thresholds (root ``r_e``) and — when the committee leaf
+was calibrated — the committee acceptance envelope (root ``r_c``); the
+proposer commits to each execution (``C0``) and, during disputes, to
+subgraph interfaces.  All of these are SHA-256 Merkle trees over canonical
+byte serializations, with logarithmic-depth inclusion proofs so the
+coordinator can verify any revealed leaf against the recorded roots.
 """
 
 from repro.merkle.tree import MerkleProof, MerkleTree, verify_proof
@@ -14,6 +15,7 @@ from repro.merkle.commitments import (
     ExecutionCommitment,
     ModelCommitment,
     SubgraphRecord,
+    commit_committee_envelope,
     commit_graph,
     commit_model,
     commit_thresholds,
@@ -35,6 +37,7 @@ __all__ = [
     "ExecutionCommitment",
     "ModelCommitment",
     "SubgraphRecord",
+    "commit_committee_envelope",
     "commit_graph",
     "commit_model",
     "commit_thresholds",

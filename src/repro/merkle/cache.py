@@ -65,7 +65,8 @@ class HashCache:
     def __init__(self, max_tensors: int = 8192) -> None:
         self.max_tensors = int(max_tensors)
         self._tensors: "OrderedDict[int, Tuple[np.ndarray, bytes]]" = OrderedDict()
-        self._model_commitments: Dict[Tuple[int, int, str], Tuple[Any, Any, Any]] = {}
+        self._model_commitments: Dict[Tuple[int, int, int, str],
+                                      Tuple[Any, Any, Any, Any]] = {}
         self.tensor_hits = 0
         self.tensor_misses = 0
         self._lock = threading.Lock()
@@ -97,32 +98,44 @@ class HashCache:
     # ------------------------------------------------------------------
 
     def model_commitment(self, graph_module, threshold_table,
-                         metadata: Optional[Dict[str, object]]):
-        """Return the memoized ``commit_model`` result for this identity triple.
+                         metadata: Optional[Dict[str, object]],
+                         committee_envelope=None):
+        """Return the memoized ``commit_model`` result for this identity tuple.
 
         Returns ``None`` on a miss; callers build the commitment and store it
         via :meth:`store_model_commitment`.
         """
-        key = self._model_key(graph_module, threshold_table, metadata)
+        key = self._model_key(graph_module, threshold_table, metadata,
+                              committee_envelope)
         with self._lock:
             entry = self._model_commitments.get(key)
         if entry is None:
             return None
-        held_graph, held_table, commitment = entry
-        if held_graph is graph_module and held_table is threshold_table:
+        held_graph, held_table, held_envelope, commitment = entry
+        if (held_graph is graph_module and held_table is threshold_table
+                and held_envelope is committee_envelope):
             return commitment
         return None
 
     def store_model_commitment(self, graph_module, threshold_table,
-                               metadata: Optional[Dict[str, object]], commitment) -> None:
-        key = self._model_key(graph_module, threshold_table, metadata)
+                               metadata: Optional[Dict[str, object]], commitment,
+                               committee_envelope=None) -> None:
+        key = self._model_key(graph_module, threshold_table, metadata,
+                              committee_envelope)
         with self._lock:
-            self._model_commitments[key] = (graph_module, threshold_table, commitment)
+            self._model_commitments[key] = (graph_module, threshold_table,
+                                            committee_envelope, commitment)
 
     @staticmethod
     def _model_key(graph_module, threshold_table,
-                   metadata: Optional[Dict[str, object]]) -> Tuple[int, int, str]:
-        return (id(graph_module), id(threshold_table), canonical_json(metadata or {}))
+                   metadata: Optional[Dict[str, object]],
+                   committee_envelope=None) -> Tuple[int, int, int, str]:
+        # The committee envelope participates in commitment identity the same
+        # way the threshold table does: same model committed with and without
+        # a leaf envelope must never alias one memo entry.
+        return (id(graph_module), id(threshold_table),
+                -1 if committee_envelope is None else id(committee_envelope),
+                canonical_json(metadata or {}))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -4,6 +4,9 @@
   canonical tensor bytes) into the weight root ``r_w``.
 * ``commit_graph`` merkleizes per-node canonical signatures into ``r_g``.
 * ``commit_thresholds`` merkleizes the calibrated threshold table into ``r_e``.
+* ``commit_committee_envelope`` merkleizes the committee leaf's calibrated
+  acceptance envelope into ``r_c`` (present only for models calibrated with
+  :func:`~repro.calibration.committee.calibrate_committee_envelope`).
 * ``make_execution_commitment`` forms ``C0 = H(r_w || r_g || H(x) || H(y) || meta)``.
 * ``make_subgraph_record`` / ``verify_subgraph_record`` produce and check the
   per-slice dispute message: slice indices, interface hashes ``h_In`` /
@@ -83,6 +86,18 @@ def commit_thresholds(threshold_table) -> Tuple[MerkleTree, Dict[str, int]]:
     return MerkleTree.from_named_leaves(threshold_table.leaf_payloads())
 
 
+def commit_committee_envelope(envelope) -> Tuple[MerkleTree, Dict[str, int]]:
+    """Merkleize the committee leaf's acceptance-envelope payloads into r_c.
+
+    ``envelope`` is a
+    :class:`~repro.calibration.committee.CommitteeEnvelopeProfile`; its
+    payloads carry the calibration provenance (safety factor, envelope
+    percentile) so the committee's decision rule is pinned on chain exactly
+    like the threshold table it sits beside.
+    """
+    return MerkleTree.from_named_leaves(envelope.leaf_payloads())
+
+
 @dataclass
 class ModelCommitment:
     """The Phase 0 commitment bundle recorded by the coordinator."""
@@ -93,6 +108,9 @@ class ModelCommitment:
     threshold_root: bytes
     num_operators: int
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Root of the committee leaf's calibrated acceptance envelope (``r_c``);
+    #: ``None`` for models committed without one (the reference tolerance).
+    committee_root: Optional[bytes] = None
 
     #: Trees retained by the model owner / proposer for producing proofs.
     weight_tree: Optional[MerkleTree] = None
@@ -101,6 +119,8 @@ class ModelCommitment:
     graph_index: Optional[Dict[str, int]] = None
     threshold_tree: Optional[MerkleTree] = None
     threshold_index: Optional[Dict[str, int]] = None
+    committee_tree: Optional[MerkleTree] = None
+    committee_index: Optional[Dict[str, int]] = None
 
     def public_view(self) -> "ModelCommitment":
         """The coordinator-visible part (roots only, no trees)."""
@@ -111,35 +131,50 @@ class ModelCommitment:
             threshold_root=self.threshold_root,
             num_operators=self.num_operators,
             metadata=dict(self.metadata),
+            committee_root=self.committee_root,
         )
 
     def digest(self) -> bytes:
-        return hash_concat([
+        parts = [
             self.model_name.encode("utf-8"),
             self.weight_root,
             self.graph_root,
             self.threshold_root,
             canonical_json(self.metadata).encode("utf-8"),
-        ])
+        ]
+        # Appended only when present so digests of committee-envelope-free
+        # commitments (and everything keyed by them: cluster placement,
+        # cached results) are unchanged from the pre-envelope protocol.
+        if self.committee_root is not None:
+            parts.append(self.committee_root)
+        return hash_concat(parts)
 
 
 def commit_model(graph_module: GraphModule, threshold_table,
                  metadata: Optional[Dict[str, object]] = None,
-                 cache: Optional[HashCache] = None) -> ModelCommitment:
+                 cache: Optional[HashCache] = None,
+                 committee_envelope=None) -> ModelCommitment:
     """Produce the full Phase 0 model commitment for ``graph_module``.
 
     With a :class:`~repro.merkle.cache.HashCache`, re-committing the same
-    (graph module, threshold table, metadata) triple returns the memoized
-    commitment instead of re-merkleizing every weight and node signature —
-    the multi-tenant service path commits each model exactly once.
+    (graph module, threshold table, metadata, committee envelope) tuple
+    returns the memoized commitment instead of re-merkleizing every weight
+    and node signature — the multi-tenant service path commits each model
+    exactly once.  ``committee_envelope`` (a
+    :class:`~repro.calibration.committee.CommitteeEnvelopeProfile`) adds the
+    committee root ``r_c`` to the bundle when the model was leaf-calibrated.
     """
     if cache is not None:
-        cached = cache.model_commitment(graph_module, threshold_table, metadata)
+        cached = cache.model_commitment(graph_module, threshold_table, metadata,
+                                        committee_envelope)
         if cached is not None:
             return cached
     weight_tree, weight_index = commit_weights(graph_module.parameters)
     graph_tree, graph_index = commit_graph(graph_module)
     threshold_tree, threshold_index = commit_thresholds(threshold_table)
+    committee_tree = committee_index = None
+    if committee_envelope is not None:
+        committee_tree, committee_index = commit_committee_envelope(committee_envelope)
     commitment = ModelCommitment(
         model_name=graph_module.name,
         weight_root=weight_tree.root,
@@ -147,15 +182,19 @@ def commit_model(graph_module: GraphModule, threshold_table,
         threshold_root=threshold_tree.root,
         num_operators=graph_module.num_operators,
         metadata=dict(metadata or {}),
+        committee_root=None if committee_tree is None else committee_tree.root,
         weight_tree=weight_tree,
         weight_index=weight_index,
         graph_tree=graph_tree,
         graph_index=graph_index,
         threshold_tree=threshold_tree,
         threshold_index=threshold_index,
+        committee_tree=committee_tree,
+        committee_index=committee_index,
     )
     if cache is not None:
-        cache.store_model_commitment(graph_module, threshold_table, metadata, commitment)
+        cache.store_model_commitment(graph_module, threshold_table, metadata,
+                                     commitment, committee_envelope)
     return commitment
 
 

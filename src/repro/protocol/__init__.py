@@ -30,6 +30,7 @@ from repro.protocol.adjudication import (
     AdjudicationDecision,
     AdjudicationResult,
     committee_vote,
+    committee_vote_reference,
     route_and_adjudicate,
     theoretical_bound_check,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "AdjudicationDecision",
     "AdjudicationResult",
     "committee_vote",
+    "committee_vote_reference",
     "route_and_adjudicate",
     "theoretical_bound_check",
     "EconomicParameters",

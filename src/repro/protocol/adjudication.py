@@ -10,13 +10,26 @@ challenger's routing policy picks between two checks:
   sound, but potentially permissive.
 * **committee vote** — each sampled member re-executes the operator on its
   own device, forms the error percentile profile against the proposer's
-  output and votes using the committed empirical thresholds; the majority
-  decides.  Tighter but more expensive.
+  output and votes using the committed empirical acceptance envelope; the
+  majority decides.  Tighter but more expensive.
 
 Routing: the challenger first compares the proposer's output against its own
 reference under ``tau_theo``; if any element falls outside, path (i) settles
 the dispute immediately, otherwise path (ii) applies the tighter empirical
 thresholds.
+
+The committee's acceptance envelope has two committed forms.  The *reference*
+tolerance (:func:`committee_vote_reference`, the pre-calibration protocol)
+votes against the full-trace threshold table ``r_e`` directly — a table
+calibrated on error *accumulated through the whole graph prefix*, which is
+systematically mis-scaled for the leaf's single-operator comparison: too
+loose deep in a graph (tampers survive the vote) and zero-floored at low
+percentiles of bit-deterministic kernels (honest cross-device noise is
+slashed).  The calibrated form votes against a committed
+:class:`~repro.calibration.committee.CommitteeEnvelopeProfile` (root
+``r_c``): per-operator percentile envelopes of honest single-op re-execution
+spreads across the device fleet.  Passing ``committee_envelope=None``
+everywhere reproduces the reference behaviour bit for bit.
 """
 
 from __future__ import annotations
@@ -111,12 +124,20 @@ def committee_vote(
     proposer_output: np.ndarray,
     committee: Sequence[CommitteeMember],
     thresholds: ThresholdTable,
+    committee_envelope=None,
 ) -> AdjudicationResult:
-    """Path (ii): honest-majority vote against the empirical thresholds."""
+    """Path (ii): honest-majority vote against the empirical acceptance envelope.
+
+    With a calibrated ``committee_envelope`` each member votes against the
+    committed single-operator envelope (root ``r_c``); without one, against
+    the full-trace threshold table — the reference tolerance, also reachable
+    explicitly via :func:`committee_vote_reference`.
+    """
     if not committee:
         raise ValueError("committee vote requires at least one member")
     votes = [
-        member.vote(graph_module, operator_name, operand_values, proposer_output, thresholds)
+        member.vote(graph_module, operator_name, operand_values, proposer_output,
+                    thresholds, committee_envelope=committee_envelope)
         for member in committee
     ]
     in_favor = sum(1 for vote in votes if vote.within_threshold)
@@ -136,9 +157,33 @@ def committee_vote(
         operator_name=operator_name,
         op_type=node.target,
         max_violation_ratio=float(worst_ratio),
-        details={"votes_for": in_favor, "votes_total": len(votes)},
+        details={
+            "votes_for": in_favor,
+            "votes_total": len(votes),
+            "envelope": "calibrated" if committee_envelope is not None else "reference",
+        },
         committee_votes=votes,
         flops=flops,
+    )
+
+
+def committee_vote_reference(
+    graph_module: GraphModule,
+    operator_name: str,
+    operand_values: Sequence[np.ndarray],
+    proposer_output: np.ndarray,
+    committee: Sequence[CommitteeMember],
+    thresholds: ThresholdTable,
+) -> AdjudicationResult:
+    """The pre-calibration committee vote: fixed full-trace tolerance.
+
+    Kept as the differential reference for the calibrated envelope — the
+    regression tests replay the ROADMAP defect seeds through this path and
+    assert the calibrated path resolves them.
+    """
+    return committee_vote(
+        graph_module, operator_name, operand_values, proposer_output,
+        committee, thresholds, committee_envelope=None,
     )
 
 
@@ -151,13 +196,15 @@ def route_and_adjudicate(
     committee: Sequence[CommitteeMember],
     thresholds: ThresholdTable,
     mode: BoundMode = BoundMode.PROBABILISTIC,
+    committee_envelope=None,
 ) -> AdjudicationResult:
     """The challenger's routing policy (Sec. 5.4).
 
     First run the cheap theoretical check against the challenger's own
     reference; a violation settles the dispute immediately.  When the claim
     lies *within* the theoretical envelope the (tighter, costlier) committee
-    vote decides.
+    vote decides, consulting the calibrated acceptance envelope when one was
+    committed.
     """
     theo = theoretical_bound_check(
         graph_module, operator_name, operand_values, proposer_output,
@@ -166,7 +213,8 @@ def route_and_adjudicate(
     if theo.proposer_cheated:
         return theo
     vote = committee_vote(
-        graph_module, operator_name, operand_values, proposer_output, committee, thresholds
+        graph_module, operator_name, operand_values, proposer_output, committee,
+        thresholds, committee_envelope=committee_envelope,
     )
     vote.flops += theo.flops
     vote.details["theoretical_max_ratio"] = theo.max_violation_ratio

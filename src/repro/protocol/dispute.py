@@ -130,6 +130,7 @@ class DisputeGame:
         n_way: int = 2,
         bound_mode: BoundMode = BoundMode.PROBABILISTIC,
         leaf_path: str = "routed",
+        committee_envelope=None,
     ) -> None:
         if n_way < 2:
             raise ValueError("the dispute game requires an N-way partition with N >= 2")
@@ -143,6 +144,9 @@ class DisputeGame:
         self.n_way = int(n_way)
         self.bound_mode = bound_mode
         self.leaf_path = leaf_path
+        #: Committed single-op acceptance envelope consulted by the
+        #: committee-vote leaf paths; ``None`` keeps the reference tolerance.
+        self.committee_envelope = committee_envelope
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -351,9 +355,11 @@ class DisputeGame:
             return committee_vote(
                 self.graph_module, operator_name, operand_values, proposer_output,
                 self.committee, self.thresholds,
+                committee_envelope=self.committee_envelope,
             )
         return route_and_adjudicate(
             self.graph_module, operator_name, operand_values, proposer_output,
             challenger_device=challenger.device, committee=self.committee,
             thresholds=self.thresholds, mode=self.bound_mode,
+            committee_envelope=self.committee_envelope,
         )

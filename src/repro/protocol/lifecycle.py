@@ -80,6 +80,7 @@ class TAOSession:
         initial_balance: float = 10_000.0,
         hash_cache: Optional[HashCache] = None,
         committee_factory: Optional[Callable[[int, DeviceProfile], CommitteeMember]] = None,
+        committee_envelope=None,
     ) -> None:
         self.graph_module = graph_module
         self.devices = tuple(devices)
@@ -95,6 +96,12 @@ class TAOSession:
         #: the protocol simulator injects faulty (e.g. colluding) adjudicators
         #: here without forking the session wiring.
         self.committee_factory = committee_factory
+        #: Calibrated committee-leaf acceptance envelope
+        #: (:class:`~repro.calibration.committee.CommitteeEnvelopeProfile`).
+        #: Committed as root ``r_c`` at setup, consulted by committee votes
+        #: and by the challenger's selection floor; ``None`` keeps the
+        #: reference (pre-calibration) tolerance everywhere.
+        self.committee_envelope = committee_envelope
 
         self._calibration_inputs = list(calibration_inputs) if calibration_inputs is not None else None
         self.calibration: Optional[CalibrationResult] = calibration_result
@@ -126,6 +133,7 @@ class TAOSession:
             self.graph_module, self.thresholds,
             metadata={"alpha": self.alpha, "num_operators": self.graph_module.num_operators},
             cache=self.hash_cache,
+            committee_envelope=self.committee_envelope,
         )
         self.coordinator.chain.fund(owner, self.initial_balance)
         self.coordinator.register_model(self.model_commitment, owner=owner)
@@ -168,7 +176,8 @@ class TAOSession:
         self.require_setup()
         self.coordinator.chain.fund(name, self.initial_balance)
         return Challenger(name, device or self.devices[-1], self.thresholds,
-                          hash_cache=self.hash_cache)
+                          hash_cache=self.hash_cache,
+                          committee_envelope=self.committee_envelope)
 
     def make_dispute_game(self) -> DisputeGame:
         """A dispute game wired to this session's commitments and policies.
@@ -187,6 +196,7 @@ class TAOSession:
             n_way=self.n_way,
             bound_mode=self.bound_mode,
             leaf_path=self.leaf_path,
+            committee_envelope=self.committee_envelope,
         )
 
     # ------------------------------------------------------------------

@@ -214,14 +214,31 @@ class SelectionOutcome:
 
 
 class Challenger:
-    """Re-executes results and drives dispute localization."""
+    """Re-executes results and drives dispute localization.
+
+    ``committee_envelope`` (optional, a
+    :class:`~repro.calibration.committee.CommitteeEnvelopeProfile`) is the
+    committed single-operator acceptance envelope of the committee leaf.
+    When present it *floors* the thresholds the selection rule applies to
+    child slices: a slice re-executed from agreed live-ins accumulates at
+    least one operator's worth of single-op cross-device spread, so a
+    committed full-trace threshold below the leaf envelope (the
+    zero-calibrated low percentiles of bit-deterministic kernels) can only
+    select honest children — the false selections behind the ROADMAP's
+    committee-leaf defect seeds.  Phase 1 output verification keeps the raw
+    committed table: final outputs carry full-trace accumulated error, which
+    is exactly what that table calibrates.
+    """
 
     def __init__(self, name: str, device: DeviceProfile,
                  threshold_table: ThresholdTable,
-                 hash_cache: Optional[HashCache] = None) -> None:
+                 hash_cache: Optional[HashCache] = None,
+                 committee_envelope=None) -> None:
         self.name = name
         self.device = device
         self.thresholds = threshold_table
+        self.committee_envelope = committee_envelope
+        self._selection_thresholds = None
         self.interpreter = Interpreter(device)
         self.stopwatch = Stopwatch()
         self.hash_cache = hash_cache
@@ -232,6 +249,23 @@ class Challenger:
         self.dispute_flops = 0.0
         self.merkle_checks = 0
         self.stopwatch = Stopwatch()
+
+    @property
+    def selection_thresholds(self) -> ThresholdTable:
+        """The committed table floored by the envelope, name-matched.
+
+        The operator-wise baseline of the selection rule's tolerance (each
+        dispute round actually floors *slice-aware* via
+        :meth:`_slice_checker`).  Built lazily: services construct one
+        challenger clone per concurrent dispute, and most never need the
+        full-table merge.
+        """
+        if self._selection_thresholds is None:
+            self._selection_thresholds = (
+                self.committee_envelope.floor(self.thresholds)
+                if self.committee_envelope is not None else self.thresholds
+            )
+        return self._selection_thresholds
 
     def move_delay_s(self, round_index: int) -> float:
         """Seconds this challenger stalls before its next dispute move.
@@ -336,11 +370,12 @@ class Challenger:
                     subgraph, dict(record.live_in_values), record=True, count_flops=True
                 )
                 flops += local.flops.total
+                checker = self._slice_checker(graph_module, record)
                 offending = False
                 for name in record.live_out_names:
-                    if not self.thresholds.has_operator(name):
+                    if not checker.has_operator(name):
                         continue
-                    report = self.thresholds.check(
+                    report = checker.check(
                         name, record.live_out_values[name], local.values[name]
                     )
                     reports.append(report)
@@ -358,6 +393,24 @@ class Challenger:
             flops=flops,
             all_valid=all_valid,
         )
+
+    def _slice_checker(self, graph_module: GraphModule, record: SubgraphRecord):
+        """The thresholds one child slice's live-out check consults.
+
+        Without a committee envelope: the committed table (reference
+        behaviour).  With one: the committed table floored *slice-aware* —
+        the honest spread at a slice boundary is generated by whichever
+        operator inside the slice diverges most across devices, so every
+        boundary entry is raised to at least that operator's single-op
+        envelope.
+        """
+        if self.committee_envelope is None:
+            return self.thresholds
+        slice_ops = [
+            node.name for node in
+            graph_module.graph.operators[record.slice_start:record.slice_end]
+        ]
+        return self.committee_envelope.floor(self.thresholds, slice_ops)
 
 
 def record_inputs(record: SubgraphRecord) -> Dict[str, np.ndarray]:
@@ -387,13 +440,25 @@ class CommitteeMember:
         operand_values: Sequence[np.ndarray],
         proposer_output: np.ndarray,
         thresholds: ThresholdTable,
+        committee_envelope=None,
     ) -> CommitteeVoteRecord:
+        """Re-execute the operator and vote on the proposer's claim.
+
+        With a committed ``committee_envelope`` that calibrates this
+        operator, the vote applies the single-op acceptance envelope (what
+        the member's re-execution actually measures); otherwise it falls
+        back to the full-trace threshold table — the reference tolerance.
+        """
         reference = self.interpreter.run_single_operator(
             graph_module, operator_name, operand_values
         )
-        if not thresholds.has_operator(operator_name):
-            # Without calibrated thresholds the member abstains in favour of
-            # the proposer (cannot establish fraud).
+        checker = thresholds
+        if committee_envelope is not None and \
+                committee_envelope.has_operator(operator_name):
+            checker = committee_envelope
+        if not checker.has_operator(operator_name):
+            # Without any calibrated envelope the member abstains in favour
+            # of the proposer (cannot establish fraud).
             return CommitteeVoteRecord(self.name, True, None)
-        report = thresholds.check(operator_name, proposer_output, reference)
+        report = checker.check(operator_name, proposer_output, reference)
         return CommitteeVoteRecord(self.name, not report.exceeded, report)

@@ -997,7 +997,8 @@ class TAOService(ServiceCore):
         name = f"{entry.challenger.name}-{entry.challenger_clones}"
         self.coordinator.chain.fund(name, entry.session.initial_balance)
         return Challenger(name, entry.challenger.device, entry.challenger.thresholds,
-                          hash_cache=self.hash_cache)
+                          hash_cache=self.hash_cache,
+                          committee_envelope=entry.challenger.committee_envelope)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -189,8 +189,10 @@ class SimChallenger(Challenger):
     def __init__(self, name: str, device: DeviceProfile,
                  threshold_table: ThresholdTable,
                  hash_cache: Optional[HashCache] = None,
-                 selection_delay_s: float = 0.0) -> None:
-        super().__init__(name, device, threshold_table, hash_cache=hash_cache)
+                 selection_delay_s: float = 0.0,
+                 committee_envelope=None) -> None:
+        super().__init__(name, device, threshold_table, hash_cache=hash_cache,
+                         committee_envelope=committee_envelope)
         self.selection_delay_s = float(selection_delay_s)
 
     def move_delay_s(self, round_index: int) -> float:
@@ -201,7 +203,7 @@ class ColludingCommitteeMember(CommitteeMember):
     """Votes for the proposer unconditionally (a bought adjudicator)."""
 
     def vote(self, graph_module, operator_name, operand_values, proposer_output,
-             thresholds) -> CommitteeVoteRecord:
+             thresholds, committee_envelope=None) -> CommitteeVoteRecord:
         return CommitteeVoteRecord(self.name, True, None)
 
 

@@ -31,6 +31,11 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.calibration.calibrator import CalibrationConfig, Calibrator
+from repro.calibration.committee import (
+    CommitteeEnvelopeConfig,
+    CommitteeEnvelopeProfile,
+    calibrate_committee_envelope,
+)
 from repro.calibration.thresholds import ThresholdTable
 from repro.cluster.cluster import TAOCluster
 from repro.graph.graph import GraphModule
@@ -65,13 +70,20 @@ DROPPED_MOVE_DELAY_S = 1e9
 
 @dataclass
 class SimWorkload:
-    """One prepared workload: traced graph, thresholds, input sampler."""
+    """One prepared workload: traced graph, thresholds, input sampler.
+
+    ``committee_envelope`` (optional) is the workload's calibrated
+    committee-leaf acceptance envelope; scenarios adopt it unless they set
+    ``calibrated_committee=False`` (the reference-tolerance replay used by
+    the defect regression tests).
+    """
 
     name: str
     graph: GraphModule
     thresholds: ThresholdTable
     sample_inputs: Callable[[int], Dict[str, np.ndarray]]
     hash_cache: HashCache = field(default_factory=HashCache)
+    committee_envelope: Optional[CommitteeEnvelopeProfile] = None
 
 
 @dataclass
@@ -94,9 +106,18 @@ _WORKLOADS: Dict[str, SimWorkload] = {}
 
 
 def prepare_workload(model_name: str, calibration_samples: int = 12,
-                     seed: int = 17) -> SimWorkload:
-    """Trace + calibrate one zoo model once per process (memoized)."""
-    key = f"{model_name}/{calibration_samples}/{seed}"
+                     seed: int = 17,
+                     committee_samples: Optional[int] = 6) -> SimWorkload:
+    """Trace + calibrate one zoo model once per process (memoized).
+
+    ``committee_samples`` additionally calibrates the committee-leaf
+    acceptance envelope (single-op re-execution spreads across the fleet);
+    ``None`` skips it, leaving scenarios on the reference tolerance.  The
+    leaf envelope stabilizes in fewer samples than the full-trace thresholds
+    (single-op spreads carry no accumulated-error tail), so the default is
+    half the calibration budget.
+    """
+    key = f"{model_name}/{calibration_samples}/{seed}/{committee_samples}"
     if key in _WORKLOADS:
         return _WORKLOADS[key]
     from repro.models import get_model_spec
@@ -109,11 +130,19 @@ def prepare_workload(model_name: str, calibration_samples: int = 12,
         graph, spec.dataset(module, calibration_samples, seed=seed, batch_size=1)
     )
     thresholds = ThresholdTable.from_calibration(calibration, alpha=3.0)
+    committee_envelope = None
+    if committee_samples is not None:
+        committee_envelope = calibrate_committee_envelope(
+            graph,
+            spec.dataset(module, committee_samples, seed=seed, batch_size=1),
+            CommitteeEnvelopeConfig(devices=DEVICE_FLEET),
+        )
     workload = SimWorkload(
         name=model_name,
         graph=graph,
         thresholds=thresholds,
         sample_inputs=lambda s, _m=module, _sp=spec: _sp.sample_inputs(_m, 1, s),
+        committee_envelope=committee_envelope,
     )
     _WORKLOADS[key] = workload
     return workload
@@ -199,6 +228,14 @@ def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
             return CommitteeMember(f"committee-{i}", device)
 
         session_kwargs["committee_factory"] = factory
+    if scenario.calibrated_committee and workload.committee_envelope is not None:
+        envelope = workload.committee_envelope
+        if scenario.threshold_scale != 1.0:
+            # A broken/mis-scaled commitment breaks the whole committed
+            # bundle: the canary's zeroed protocol must stay detectably
+            # broken under the calibrated leaf as well.
+            envelope = envelope.scaled(scenario.threshold_scale)
+        session_kwargs["committee_envelope"] = envelope
     thresholds = workload.thresholds
     if scenario.threshold_scale != 1.0:
         thresholds = thresholds.scaled(scenario.threshold_scale)
@@ -253,7 +290,8 @@ def _build_challenger(event: RequestEvent, scenario: Scenario,
     name = f"sim-challenger-{event.index}"
     session.coordinator.chain.fund(name, session.initial_balance)
     return SimChallenger(name, session.devices[-1], session.thresholds,
-                         hash_cache=workload.hash_cache, selection_delay_s=delay)
+                         hash_cache=workload.hash_cache, selection_delay_s=delay,
+                         committee_envelope=session.committee_envelope)
 
 
 def _dispute_record(service: ServiceCore, task):

@@ -93,6 +93,11 @@ class Scenario:
     #: default) or the synchronous reference path.  Pipelining only overlaps
     #: when a drain spans several cycles — pair with ``cycle_capacity``.
     pipelined: bool = True
+    #: Whether the session adopts the workload's calibrated committee-leaf
+    #: acceptance envelope (when the workload carries one).  ``False`` runs
+    #: the pre-calibration reference tolerance — the setting under which the
+    #: ROADMAP defect seeds reproduce their S1/S3 violations.
+    calibrated_committee: bool = True
     #: Per-cycle request cap handed to the service (clamped to the protocol
     #: bound).  Small values split one burst into many in-flight cycles, so
     #: faulty disputes of cycle N genuinely overlap execution of cycle N+1.

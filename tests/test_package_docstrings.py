@@ -1,0 +1,48 @@
+"""Every public package carries a real docstring, kept in sync with the docs.
+
+``docs/architecture.md`` indexes the packages; each package's ``__init__.py``
+docstring is the authoritative one-paragraph description.  This guard keeps
+both honest: every package under ``repro`` must carry a substantive
+docstring, and every package named in the architecture page's package map
+must actually exist (and vice versa).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _public_packages():
+    names = ["repro"]
+    for info in pkgutil.iter_modules(repro.__path__, prefix="repro."):
+        if info.ispkg:
+            names.append(info.name)
+    return names
+
+
+def test_every_public_package_has_a_substantive_docstring():
+    for name in _public_packages():
+        module = importlib.import_module(name)
+        doc = (module.__doc__ or "").strip()
+        assert doc, f"package {name} has no docstring"
+        # One real paragraph, not a placeholder: a headline plus prose.
+        assert len(doc) >= 120, f"package {name} docstring is a stub: {doc!r}"
+        assert "\n" in doc, f"package {name} docstring is a one-liner"
+
+
+def test_architecture_package_map_matches_the_tree():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    table = re.findall(r"^\| `([^`|]+)`(?:, `([^`|]+)`)? \|", text, re.MULTILINE)
+    documented = {name for row in table for name in row if name}
+    actual = {name.split(".", 1)[1] for name in _public_packages() if "." in name}
+    assert documented == actual, (
+        f"docs/architecture.md package map out of sync: "
+        f"missing={sorted(actual - documented)} stale={sorted(documented - actual)}"
+    )

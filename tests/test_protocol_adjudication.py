@@ -4,15 +4,17 @@ import numpy as np
 import pytest
 
 from repro.bounds.fp_model import BoundMode
+from repro.calibration import CommitteeEnvelopeConfig, calibrate_committee_envelope
 from repro.graph.interpreter import Interpreter
 from repro.graph.node import Node
 from repro.protocol.adjudication import (
     AdjudicationDecision,
     committee_vote,
+    committee_vote_reference,
     route_and_adjudicate,
     theoretical_bound_check,
 )
-from repro.protocol.roles import CommitteeMember
+from repro.protocol.roles import CommitteeMember, CommitteeVoteRecord
 from repro.tensorlib.device import DEVICE_FLEET
 
 
@@ -84,6 +86,140 @@ def test_committee_vote_requires_members(mlp_graph, mlp_inputs, mlp_thresholds):
     name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
     with pytest.raises(ValueError):
         committee_vote(mlp_graph, name, operands, honest_output, [], mlp_thresholds)
+
+
+def test_routing_with_empty_committee_raises_for_subtle_claims(mlp_graph, mlp_inputs,
+                                                               mlp_thresholds):
+    """A claim inside tau_theo must reach the committee; with no members the
+    routing cannot adjudicate and surfaces the configuration error."""
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    with pytest.raises(ValueError, match="at least one member"):
+        route_and_adjudicate(mlp_graph, name, operands, honest_output,
+                             challenger_device=DEVICE_FLEET[2], committee=[],
+                             thresholds=mlp_thresholds)
+
+
+class _YesMember(CommitteeMember):
+    """Always votes for the proposer (vote-splitting test double)."""
+
+    def vote(self, graph_module, operator_name, operand_values, proposer_output,
+             thresholds, committee_envelope=None):
+        return CommitteeVoteRecord(self.name, True, None)
+
+
+def test_tie_vote_resolves_against_the_proposer(mlp_graph, mlp_inputs,
+                                                mlp_thresholds):
+    """An even committee splitting 1-1 has no majority *for* the proposer:
+    acceptance requires a strict majority, so ties slash."""
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    split = [_YesMember("yes", DEVICE_FLEET[0]),
+             CommitteeMember("honest", DEVICE_FLEET[1])]
+    result = committee_vote(mlp_graph, name, operands, honest_output + 0.01,
+                            split, mlp_thresholds)
+    assert result.details["votes_for"] == 1
+    assert result.details["votes_total"] == 2
+    assert result.proposer_cheated
+
+    # The same even committee unanimous for an honest claim still accepts.
+    accept = committee_vote(mlp_graph, name, operands, honest_output,
+                            split, mlp_thresholds)
+    assert accept.details["votes_for"] == 2
+    assert not accept.proposer_cheated
+
+
+def test_theoretical_vs_committee_routing_boundary(mlp_graph, mlp_inputs,
+                                                   mlp_thresholds, committee):
+    """Claims straddling tau_theo route to different paths: just outside the
+    IEEE envelope settles on the theoretical check, just inside falls through
+    to the committee."""
+    from repro.bounds.coexec import BoundInterpreter
+
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    reference, tau = BoundInterpreter(DEVICE_FLEET[2]).bound_single_operator(
+        mlp_graph, name, operands)
+    just_outside = (reference + 1.5 * tau).astype(np.float32)
+    just_inside = (reference + 0.5 * tau).astype(np.float32)
+
+    outside = route_and_adjudicate(mlp_graph, name, operands, just_outside,
+                                   challenger_device=DEVICE_FLEET[2],
+                                   committee=committee, thresholds=mlp_thresholds)
+    assert outside.path == "theoretical_bound"
+    assert outside.proposer_cheated
+
+    inside = route_and_adjudicate(mlp_graph, name, operands, just_inside,
+                                  challenger_device=DEVICE_FLEET[2],
+                                  committee=committee, thresholds=mlp_thresholds)
+    assert inside.path == "committee_vote"
+
+
+# ----------------------------------------------------------------------
+# Calibrated committee envelope at the leaf
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def committee_envelope(mlp_graph, mlp_input_factory):
+    return calibrate_committee_envelope(
+        mlp_graph, [mlp_input_factory(1000 + i) for i in range(8)],
+        CommitteeEnvelopeConfig(devices=DEVICE_FLEET),
+    )
+
+
+def test_committee_vote_reference_is_the_envelope_free_path(
+        mlp_graph, mlp_inputs, mlp_thresholds, committee):
+    """The reference entry point equals committee_vote without an envelope."""
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    ref = committee_vote_reference(mlp_graph, name, operands, honest_output,
+                                   committee, mlp_thresholds)
+    plain = committee_vote(mlp_graph, name, operands, honest_output,
+                           committee, mlp_thresholds, committee_envelope=None)
+    assert ref.details["envelope"] == "reference"
+    assert ref.decision is plain.decision
+    assert ref.max_violation_ratio == plain.max_violation_ratio
+    assert [v.within_threshold for v in ref.committee_votes] == \
+        [v.within_threshold for v in plain.committee_votes]
+
+
+def test_calibrated_envelope_vote_is_marked_and_accepts_honest(
+        mlp_graph, mlp_inputs, mlp_thresholds, committee, committee_envelope):
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs)
+    result = committee_vote(mlp_graph, name, operands, honest_output,
+                            committee, mlp_thresholds,
+                            committee_envelope=committee_envelope)
+    assert result.details["envelope"] == "calibrated"
+    assert not result.proposer_cheated
+    # Members really consulted the envelope: every report carries a finite
+    # ratio measured against it, not an abstention.
+    assert all(v.report is not None for v in result.committee_votes)
+
+
+def test_calibrated_envelope_catches_tamper_inside_full_trace_tolerance(
+        mlp_graph, mlp_inputs, mlp_thresholds, committee, committee_envelope):
+    """A tamper riding inside the committed full-trace tolerance is caught
+    by the single-op envelope — the ROADMAP escape mechanism, reproduced at
+    the adjudication level.
+
+    The perturbation is projected onto the committed cap curve at half the
+    tolerance edge (the simulator's ``bound_edge`` shape), so its percentile
+    profile sits under the full-trace thresholds by construction; the
+    committee's own re-execution of the (bit-deterministic) operator exposes
+    it immediately.
+    """
+    from repro.sim.faults import bound_edge_delta
+
+    name, operands, honest_output = _leaf_state(mlp_graph, mlp_inputs,
+                                                op_target="gelu")
+    delta = bound_edge_delta(honest_output, mlp_thresholds, name,
+                             edge_factor=0.5, seed=99)
+    tampered = (honest_output + delta).astype(np.float32)
+    assert float(np.abs(delta).max()) > 0
+
+    reference = committee_vote_reference(mlp_graph, name, operands, tampered,
+                                         committee, mlp_thresholds)
+    calibrated = committee_vote(mlp_graph, name, operands, tampered,
+                                committee, mlp_thresholds,
+                                committee_envelope=committee_envelope)
+    assert not reference.proposer_cheated  # escapes the fixed tolerance
+    assert calibrated.proposer_cheated     # caught by the leaf envelope
 
 
 def test_routing_uses_theoretical_path_for_gross_violations(mlp_graph, mlp_inputs,
