@@ -9,10 +9,25 @@ referenced from EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import platform
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def host_provenance() -> str:
+    """One-line host stamp persisted under every results table.
+
+    Wall-clock numbers (the fleet throughput benchmark in particular) only
+    mean something relative to the machine that produced them, so every
+    table records the core count, the interpreter version and the
+    multiprocessing start method the run used.
+    """
+    return (f"Host: {os.cpu_count()} cores | "
+            f"Python {platform.python_version()} | "
+            f"mp start method: {multiprocessing.get_start_method()}")
 
 
 def _format_cell(value) -> str:
@@ -39,10 +54,12 @@ def emit_table(experiment_id: str, title: str, headers: Sequence[str],
     """Print a table and persist it to ``benchmarks/results/<experiment_id>.md``."""
     rows = [list(r) for r in rows]
     table = format_table(headers, rows)
+    stamp = host_provenance()
     banner = f"== {experiment_id}: {title} =="
     text = f"{banner}\n{table}\n"
     if notes:
         text += f"\n{notes}\n"
+    text += f"\n{stamp}\n"
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
@@ -50,4 +67,5 @@ def emit_table(experiment_id: str, title: str, headers: Sequence[str],
         handle.write(f"# {experiment_id}: {title}\n\n{table}\n")
         if notes:
             handle.write(f"\n{notes}\n")
+        handle.write(f"\n_{stamp}_\n")
     return path

@@ -214,6 +214,11 @@ class TAOCluster(ServiceCore):
         self.failovers = 0
         self.redispatched_requests = 0
         self.measured_wall_s = 0.0
+        #: Persistent drain pool, created lazily on the first multi-shard
+        #: drain and shut down by :meth:`close` — repeated ``process()``
+        #: calls reuse the same threads instead of spawning a pool per call.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_workers = 0
 
         for index in range(num_shards):
             self.add_shard(f"shard-{index}")
@@ -465,17 +470,11 @@ class TAOCluster(ServiceCore):
             if len(busy) <= 1:
                 drained = [(shard, self._drain(shard, None)) for shard in busy]
             else:
-                workers = self.max_workers or len(busy)
-                # A per-call pool, deliberately: spawning <= num_shards
-                # threads costs microseconds against a drain that executes
-                # and settles whole request batches, and a persistent
-                # executor would strand idle threads for every short-lived
-                # cluster (the simulator builds hundreds per campaign).
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    futures = [(shard, pool.submit(self._drain, shard, None))
-                               for shard in busy]
-                    drained = [(shard, future.result())
-                               for shard, future in futures]
+                pool = self._drain_pool(self.max_workers or len(busy))
+                futures = [(shard, pool.submit(self._drain, shard, None))
+                           for shard in busy]
+                drained = [(shard, future.result())
+                           for shard, future in futures]
         self.measured_wall_s += now() - started
 
         self._detect_slashed_proposers(drained)
@@ -488,6 +487,31 @@ class TAOCluster(ServiceCore):
                 ordered.append((cluster_id, request))
         ordered.sort(key=lambda item: item[0])
         return [request for _, request in ordered]
+
+    def _drain_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The cluster's persistent drain executor (lazily created).
+
+        Idle drain threads are cheap, but a pool spawned per ``process()``
+        call is not free either — under the measured-wall benchmarks the
+        per-call spawn showed up at every drain.  The pool is created on the
+        first multi-shard drain, grown (recreated) if a ring resize raises
+        the shard count past its capacity, and shut down by :meth:`close`.
+        """
+        if self._executor is not None and self._executor_workers < workers:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="cluster-drain")
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent drain executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
 
     def _drain(self, shard: Shard, max_requests: Optional[int]) -> List[ServiceRequest]:
         with shard.lock:

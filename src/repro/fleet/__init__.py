@@ -1,0 +1,42 @@
+"""Multi-process shard fleet: measured wall-clock parallelism for the service.
+
+The thread cluster (:mod:`repro.cluster`) models parallel speedup under one
+GIL; this package measures it.  :class:`~repro.fleet.fleet.ProcessFleet`
+fronts N worker processes — each a full
+:class:`~repro.protocol.service.TAOService` shard
+(:mod:`repro.fleet.worker`) — over a length-prefixed RPC transport that
+speaks only the repo's canonical codec (:mod:`repro.fleet.transport`; no
+pickle on the data path).  Tenants are homed by commitment digest on the
+same consistent-hash ring the cluster uses, and all settlement flows back to
+one shared parent-side chain as nested ``chain_call`` messages
+(:mod:`repro.fleet.chainproxy`), keeping balances, minted totals and
+shard-tagged dispute gas exactly equal to the in-process paths.  The worker
+pool doubles as a chunk-parallel Merkle commitment backend with a
+byte-identical root.
+"""
+
+from repro.fleet.fleet import (
+    CoordinatorSnapshot,
+    FleetError,
+    FleetModel,
+    FleetStats,
+    ProcessFleet,
+    WorkerError,
+    WorkerHandle,
+)
+from repro.fleet.transport import MessageChannel, TransportClosed, channel_pair
+from repro.fleet.worker import worker_main
+
+__all__ = [
+    "CoordinatorSnapshot",
+    "FleetError",
+    "FleetModel",
+    "FleetStats",
+    "MessageChannel",
+    "ProcessFleet",
+    "TransportClosed",
+    "WorkerError",
+    "WorkerHandle",
+    "channel_pair",
+    "worker_main",
+]

@@ -1,0 +1,883 @@
+"""Multi-process shard fleet behind the :class:`ServiceCore` front-end contract.
+
+:class:`ProcessFleet` is the out-of-process sibling of
+:class:`~repro.cluster.cluster.TAOCluster`: the same consistent-hash tenant
+placement (the routing key *is* the model commitment digest), the same shared
+settlement ledger, the same failover choreography — but each shard is a full
+:class:`~repro.protocol.service.TAOService` living in its **own process**
+(:mod:`repro.fleet.worker`), driven over the serialized RPC transport
+(:mod:`repro.fleet.transport`).  Where the thread cluster's concurrent drains
+time-slice one GIL, the fleet's drains run on distinct interpreters, turning
+the cluster's *modeled* parallel speedup into a *measured* wall-clock one.
+
+Settlement stays exact: workers never hold ledger state.  Every fund,
+transfer and transaction append flows back over the worker's channel as a
+nested ``chain_call`` served by the parent against the one shared
+:class:`~repro.protocol.chain.SimulatedChain` (gas costed parent-side, under
+the chain lock, stamped with the worker's own shard clock).  Per-account
+balances, the minted total and shard-tagged dispute gas are therefore
+byte-identical to the in-process paths — the differential pin in
+``tests/test_fleet_equivalence.py`` drives one schedule through the plain
+service, the thread cluster and the fleet and asserts identical verdict
+fingerprints and an exactly equal ledger.
+
+The parent keeps lightweight mirrors of worker protocol state
+(:class:`CoordinatorSnapshot`, updated in place after every drain) so
+liveness/conservation invariant sweeps and the simulation runner walk a
+fleet exactly as they walk in-process coordinators.
+
+The worker pool is also a general compute fleet: :meth:`commit_weights_parallel`
+ships pre-serialized weight leaves to the workers in contiguous chunks,
+hashes them there, and reassembles the tree parent-side — byte-identical
+root, measured commit-time speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.calibration.calibrator import CalibrationConfig, Calibrator
+from repro.calibration.thresholds import ThresholdTable
+from repro.cluster.ring import ConsistentHashRing
+from repro.fleet.transport import MessageChannel, TransportClosed, channel_pair
+from repro.fleet.wire import graph_to_payload, stats_from_payload
+from repro.fleet.worker import worker_main
+from repro.graph.graph import GraphModule
+from repro.merkle.cache import HashCache
+from repro.merkle.commitments import ExecutionCommitment, ModelCommitment, commit_model
+from repro.merkle.tree import MerkleTree
+from repro.protocol.chain import SimulatedChain
+from repro.protocol.coordinator import DisputePhase, TaskStatus
+from repro.protocol.dispute import DisputeOutcome, DisputeStatistics
+from repro.protocol.lifecycle import SessionReport
+from repro.protocol.service import ServiceCore, ServiceRequest, ServiceStats
+from repro.tensorlib.device import DEVICE_FLEET, DeviceProfile
+from repro.utils.serialization import canonical_bytes
+from repro.utils.timing import now
+
+
+class FleetError(RuntimeError):
+    """Raised for fleet-level misuse (unknown tenants, dead workers, ...)."""
+
+
+class WorkerError(RuntimeError):
+    """An error raised inside a worker process, re-surfaced by the parent."""
+
+
+# ----------------------------------------------------------------------
+# Parent-side protocol-state mirrors
+# ----------------------------------------------------------------------
+
+@dataclass
+class TaskSnapshot:
+    """Parent-side mirror of one worker coordinator task record."""
+
+    task_id: int
+    model_name: str
+    status: TaskStatus
+    dispute_id: Optional[int] = None
+
+
+@dataclass
+class DisputeSnapshot:
+    """Parent-side mirror of one worker dispute record."""
+
+    dispute_id: int
+    task_id: int
+    phase: DisputePhase
+    adjudication_path: Optional[str] = None
+
+
+@dataclass
+class _VerificationFlag:
+    """The single field of an exceedance report the front end re-exposes."""
+
+    exceeded: bool
+
+
+@dataclass
+class _ResultSnapshot:
+    """Carrier for the proposer's execution commitment inside reports."""
+
+    commitment: ExecutionCommitment
+
+
+class CoordinatorSnapshot:
+    """Read-only mirror of one worker's coordinator, updated in place.
+
+    Task snapshots keep their identity across updates so a caller holding
+    ``report.task`` can later find the same object in :attr:`tasks` — the
+    contract the simulation runner's dispute-record lookup relies on.
+    Quacks like a coordinator for the invariant sweeps: ``tasks``,
+    ``disputes`` and :meth:`dispute_gas`.
+    """
+
+    def __init__(self, shard_id: str) -> None:
+        self.shard_id = shard_id
+        self.tasks: Dict[int, TaskSnapshot] = {}
+        self.disputes: Dict[int, DisputeSnapshot] = {}
+        self._dispute_gas: Dict[int, int] = {}
+
+    def dispute_gas(self, dispute_id: int) -> int:
+        return int(self._dispute_gas.get(dispute_id, 0))
+
+    def apply(self, payload: Dict[str, Any]) -> None:
+        for row in payload["tasks"]:
+            task_id = int(row["task_id"])
+            status = TaskStatus(row["status"])
+            dispute_id = row["dispute_id"]
+            dispute_id = None if dispute_id is None else int(dispute_id)
+            task = self.tasks.get(task_id)
+            if task is None:
+                self.tasks[task_id] = TaskSnapshot(
+                    task_id=task_id, model_name=row["model_name"],
+                    status=status, dispute_id=dispute_id)
+            else:
+                task.status = status
+                task.dispute_id = dispute_id
+        for row in payload["disputes"]:
+            dispute_id = int(row["dispute_id"])
+            phase = DisputePhase(row["phase"])
+            dispute = self.disputes.get(dispute_id)
+            if dispute is None:
+                self.disputes[dispute_id] = DisputeSnapshot(
+                    dispute_id=dispute_id, task_id=int(row["task_id"]),
+                    phase=phase, adjudication_path=row["adjudication_path"])
+            else:
+                dispute.phase = phase
+                dispute.adjudication_path = row["adjudication_path"]
+            self._dispute_gas[dispute_id] = int(row["gas_used"])
+
+
+# ----------------------------------------------------------------------
+# Parent-side worker / tenant / request records
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerHandle:
+    """One spawned shard worker and its channel."""
+
+    shard_id: str
+    process: multiprocessing.process.BaseProcess
+    channel: MessageChannel
+    alive: bool = True
+    drained: bool = False
+    #: Serializes channel use: one request/response conversation at a time.
+    lock: Lock = field(default_factory=Lock)
+
+
+@dataclass
+class FleetModel:
+    """Parent-side record of one tenant: routing key, home, wire payload."""
+
+    name: str
+    key: bytes
+    shard_id: str
+    commitment: ModelCommitment
+    #: The registration payload as shipped — replayed (with
+    #: ``fund_accounts=False``) when failover re-homes the tenant.
+    payload: Dict[str, Any]
+    challenger_clones: int = 0
+
+
+@dataclass
+class _RequestRecord:
+    """One submitted request: the parent-visible snapshot plus re-dispatch state."""
+
+    request: ServiceRequest
+    shard_id: str
+    local_id: int
+    proposer_spec: Optional[Dict[str, Any]]
+    challenger_spec: Optional[Dict[str, Any]]
+
+
+@dataclass
+class FleetStats(ServiceStats):
+    """Fleet-wide statistics: per-worker sums plus measured wall-clock."""
+
+    workers: int = 0
+    #: Wall-clock seconds spent inside ``process`` drains, parent-measured.
+    measured_wall_s: float = 0.0
+
+    @property
+    def measured_throughput_rps(self) -> float:
+        if self.measured_wall_s <= 0:
+            return 0.0
+        return self.requests_completed / self.measured_wall_s
+
+    def as_dict(self) -> Dict[str, object]:
+        out = super().as_dict()
+        out.update({
+            "workers": self.workers,
+            "measured_wall_s": self.measured_wall_s,
+            "measured_throughput_rps": self.measured_throughput_rps,
+        })
+        return out
+
+
+class ProcessFleet(ServiceCore):
+    """N shard-worker processes behind one consistent-hash front end."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        chain: Optional[SimulatedChain] = None,
+        devices: Iterable[DeviceProfile] = DEVICE_FLEET,
+        vnodes: int = 64,
+        alpha: float = 3.0,
+        n_way: int = 2,
+        committee_size: int = 3,
+        leaf_path: str = "routed",
+        hash_cache: Optional[HashCache] = None,
+        enable_pipeline: bool = True,
+        cycle_capacity: Optional[int] = None,
+        max_batch: int = 32,
+        enable_batching: bool = True,
+        enable_result_cache: bool = True,
+        result_cache_size: int = 256,
+        actor_module: str = "repro.fleet.actors",
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.chain = chain or SimulatedChain()
+        self.devices = tuple(devices)
+        self.alpha = float(alpha)
+        self.hash_cache = hash_cache or HashCache()
+        self.actor_module = actor_module
+        self._service_knobs = {
+            "max_batch": int(max_batch),
+            "enable_batching": bool(enable_batching),
+            "enable_result_cache": bool(enable_result_cache),
+            "result_cache_size": int(result_cache_size),
+            "alpha": float(alpha),
+            "n_way": int(n_way),
+            "committee_size": int(committee_size),
+            "leaf_path": leaf_path,
+            "enable_pipeline": bool(enable_pipeline),
+            "cycle_capacity": cycle_capacity,
+        }
+        self._context = multiprocessing.get_context(start_method)
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.workers: Dict[str, WorkerHandle] = {}
+        self._snapshots: Dict[str, CoordinatorSnapshot] = {}
+        self._last_stats: Dict[str, ServiceStats] = {}
+        self._models: Dict[str, FleetModel] = {}
+        self._records: Dict[int, _RequestRecord] = {}
+        self._by_local: Dict[Tuple[str, int], int] = {}
+        self._pending: Dict[str, List[int]] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_workers = 0
+        self._closed = False
+        self.measured_wall_s = 0.0
+        self.failovers = 0
+        self.redispatched_requests = 0
+        #: Test hook: called as ``hook(shard_id, message)`` before the parent
+        #: applies each nested chain call (the worker-death tests kill a
+        #: worker here, mid-drain, deterministically).
+        self._chain_call_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        for index in range(int(num_workers)):
+            self._spawn(f"shard-{index}")
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, shard_id: str) -> WorkerHandle:
+        parent_channel, child_sock = channel_pair()
+        process = self._context.Process(
+            target=worker_main, args=(child_sock,),
+            name=f"fleet-{shard_id}", daemon=True,
+        )
+        process.start()
+        child_sock.close()  # the child holds its own copy now
+        handle = WorkerHandle(shard_id=shard_id, process=process,
+                              channel=parent_channel)
+        self.workers[shard_id] = handle
+        self._snapshots[shard_id] = CoordinatorSnapshot(shard_id)
+        self._pending[shard_id] = []
+        self.ring.add_node(shard_id)
+        self._call(handle, {
+            "shard_id": shard_id,
+            "block_interval_s": self.chain.block_interval_s,
+            "service": dict(self._service_knobs),
+            "actor_module": self.actor_module,
+        })
+        return handle
+
+    def _handle(self, shard_id: str) -> WorkerHandle:
+        try:
+            return self.workers[shard_id]
+        except KeyError:
+            raise FleetError(f"unknown worker {shard_id!r}") from None
+
+    def _live_workers(self) -> List[str]:
+        return [shard_id for shard_id in sorted(self.workers)
+                if self.workers[shard_id].alive]
+
+    # ------------------------------------------------------------------
+    # RPC with nested chain settlement
+    # ------------------------------------------------------------------
+
+    def _call(self, handle: WorkerHandle, payload: Dict[str, Any]) -> Any:
+        """One request/response conversation, serving nested chain calls."""
+        if not handle.alive:
+            raise FleetError(f"worker {handle.shard_id!r} is dead")
+        try:
+            with handle.lock:
+                handle.channel.send(payload)
+                while True:
+                    message = handle.channel.recv()
+                    kind = message.get("kind")
+                    if kind == "chain_call":
+                        if self._chain_call_hook is not None:
+                            self._chain_call_hook(handle.shard_id, message)
+                        handle.channel.send(self._serve_chain_call(message))
+                    elif kind == "response":
+                        if message.get("ok"):
+                            return message.get("value")
+                        raise WorkerError(
+                            f"[{handle.shard_id}] {message.get('error')}")
+                    else:
+                        raise FleetError(
+                            f"unexpected message kind {kind!r} from "
+                            f"{handle.shard_id}")
+        except TransportClosed:
+            self._mark_dead(handle)
+            raise
+
+    def _serve_chain_call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        method = message.get("method")
+        args = message.get("args", {})
+        try:
+            if method == "fund":
+                self.chain.fund(args["account"], args["amount"])
+                value: Any = None
+            elif method == "transfer":
+                self.chain.transfer(args["source"], args["destination"],
+                                    args["amount"])
+                value = None
+            elif method == "balance":
+                value = self.chain.balance(args["account"])
+            elif method == "balances":
+                value = dict(self.chain.balances)
+            elif method == "minted":
+                value = self.chain.minted
+            elif method == "submit":
+                tx = self.chain.append_stamped(
+                    args["sender"], args["action"], args["payload_bytes"],
+                    args["storage_writes"], args["merkle_checks"],
+                    args["details"], args["block"], args["timestamp"],
+                    args["shard"],
+                )
+                value = {"gas_used": int(tx.gas_used), "index": int(tx.index)}
+            else:
+                return {"kind": "chain_reply", "ok": False,
+                        "error_type": "RuntimeError",
+                        "error": f"unknown chain method {method!r}"}
+        except ValueError as exc:
+            return {"kind": "chain_reply", "ok": False,
+                    "error_type": "ValueError", "error": str(exc)}
+        return {"kind": "chain_reply", "ok": True, "value": value}
+
+    def _mark_dead(self, handle: WorkerHandle) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        if not self.ring.is_drained(handle.shard_id):
+            self.ring.drain(handle.shard_id)
+        handle.channel.close()
+        handle.process.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+
+    def register_model(
+        self,
+        graph_module: GraphModule,
+        calibration_inputs: Optional[Iterable[Dict[str, np.ndarray]]] = None,
+        threshold_table: Optional[ThresholdTable] = None,
+        committee_envelope=None,
+        colluding_majority: Optional[int] = None,
+        **session_kwargs,
+    ) -> FleetModel:
+        """Register one tenant; it is homed by its commitment digest.
+
+        Returns the parent-side :class:`FleetModel` record (the session
+        itself lives inside the worker).  ``committee_envelope`` travels by
+        value; a colluding committee travels as its majority count and is
+        rebuilt by the workers' actor module.
+        """
+        if session_kwargs:
+            raise FleetError(
+                "session kwargs beyond committee_envelope/colluding_majority "
+                f"cannot cross the fleet boundary: {sorted(session_kwargs)}")
+        name = graph_module.name
+        if name in self._models:
+            raise FleetError(f"model {name!r} is already registered")
+        if threshold_table is None:
+            if calibration_inputs is None:
+                raise ValueError(
+                    "register_model requires calibration inputs or a threshold table"
+                )
+            calibrator = Calibrator(CalibrationConfig(devices=self.devices))
+            calibration = calibrator.calibrate(graph_module, calibration_inputs)
+            threshold_table = ThresholdTable.from_calibration(calibration,
+                                                              alpha=self.alpha)
+        # Same construction as the thread cluster: the routing key *is* the
+        # commitment digest, and the committed envelope participates in it.
+        commitment = commit_model(
+            graph_module, threshold_table,
+            metadata={"alpha": self.alpha,
+                      "num_operators": graph_module.num_operators},
+            cache=self.hash_cache,
+            committee_envelope=committee_envelope,
+        )
+        key = commitment.digest()
+        home = self.ring.node_for(key)
+        payload = {
+            "op": "register",
+            "name": name,
+            "graph": graph_to_payload(graph_module),
+            "thresholds": threshold_table.to_dict(),
+            "committee_envelope": None if committee_envelope is None
+            else committee_envelope.to_dict(),
+            "colluding_majority": colluding_majority,
+            "fund_accounts": True,
+            "challenger_clones": 0,
+        }
+        value = self._call(self._handle(home), payload)
+        if bytes(value["digest"]) != key:
+            raise FleetError(
+                f"worker {home} committed a different model digest for "
+                f"{name!r}; the wire round-trip is not commitment-exact")
+        self._models[name] = FleetModel(name=name, key=key, shard_id=home,
+                                        commitment=commitment.public_view(),
+                                        payload=payload)
+        return self._models[name]
+
+    def model(self, name: str):
+        raise FleetError(
+            f"tenant entries live inside worker processes; use location({name!r}), "
+            "stats() or the coordinator snapshots instead of model()")
+
+    def _record_for(self, name: str) -> FleetModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(f"model {name!r} is not registered with this fleet") \
+                from None
+
+    @property
+    def model_names(self) -> List[str]:
+        return sorted(self._models)
+
+    def location(self, name: str) -> str:
+        """Shard worker currently serving ``name``."""
+        return self._record_for(name).shard_id
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        model_name: str,
+        inputs: Mapping[str, np.ndarray],
+        proposer: Optional[Dict[str, Any]] = None,
+        force_challenge: bool = False,
+        challenger: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Enqueue one request on the tenant's home worker.
+
+        ``proposer``/``challenger`` are **actor specs** (plain maps resolved
+        by the workers' actor module), not role objects — role objects hold
+        devices and closures that cannot cross the serialized transport.
+        """
+        record = self._record_for(model_name)
+        for label, spec in (("proposer", proposer), ("challenger", challenger)):
+            if spec is not None and not isinstance(spec, dict):
+                raise TypeError(
+                    f"fleet {label} must be an actor-spec dict, not "
+                    f"{type(spec).__name__}; role objects cannot cross the "
+                    "process boundary")
+        local_id = int(self._call(self._handle(record.shard_id), {
+            "op": "submit",
+            "model": model_name,
+            "inputs": {name: np.asarray(value) for name, value in inputs.items()},
+            "proposer": proposer,
+            "challenger": challenger,
+            "force_challenge": bool(force_challenge),
+        })["local_id"])
+        request_id = len(self._records)
+        request = ServiceRequest(
+            request_id=request_id, model_name=model_name, inputs=dict(inputs),
+            force_challenge=bool(force_challenge), submitted_s=now(),
+        )
+        self._records[request_id] = _RequestRecord(
+            request=request, shard_id=record.shard_id, local_id=local_id,
+            proposer_spec=proposer, challenger_spec=challenger,
+        )
+        self._by_local[(record.shard_id, local_id)] = request_id
+        self._pending[record.shard_id].append(request_id)
+        return request_id
+
+    def request(self, request_id: int) -> ServiceRequest:
+        return self._records[request_id].request
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def process(self, max_requests: Optional[int] = None) -> List[ServiceRequest]:
+        """Drain every busy worker concurrently; failover dead ones."""
+        started = now()
+        processed = self._process_round(max_requests)
+        self.measured_wall_s += now() - started
+        return sorted(processed, key=lambda request: request.request_id)
+
+    def _process_round(self, max_requests: Optional[int]) -> List[ServiceRequest]:
+        busy = [shard_id for shard_id in self._live_workers()
+                if self._pending[shard_id]]
+        if not busy:
+            return []
+        processed: List[ServiceRequest] = []
+        died: List[str] = []
+
+        if max_requests is not None:
+            # Bounded drains run sequentially in shard order: determinism
+            # beats parallelism for the partial-drain administrative path.
+            remaining = int(max_requests)
+            for shard_id in busy:
+                if remaining <= 0:
+                    break
+                take = min(remaining, len(self._pending[shard_id]))
+                try:
+                    value = self._call(self.workers[shard_id],
+                                       {"op": "process", "max_requests": take})
+                except TransportClosed:
+                    died.append(shard_id)
+                    continue
+                results = self._apply_process_response(shard_id, value)
+                processed.extend(results)
+                remaining -= len(results)
+        else:
+            if len(busy) == 1:
+                outcomes = [(busy[0], self._drain_one(busy[0]))]
+            else:
+                pool = self._drain_pool(len(busy))
+                futures = [(shard_id, pool.submit(self._drain_one, shard_id))
+                           for shard_id in busy]
+                outcomes = [(shard_id, future.result())
+                            for shard_id, future in futures]
+            for shard_id, value in outcomes:
+                if value is None:
+                    died.append(shard_id)
+                else:
+                    processed.extend(self._apply_process_response(shard_id, value))
+
+        for shard_id in died:
+            self._fail_over_worker(shard_id)
+        if died and self.pending_count:
+            # Re-dispatched requests are queued on ring successors; finish
+            # the drain there so the caller still gets every admitted
+            # request back in terminal state.
+            processed.extend(self._process_round(max_requests))
+        return processed
+
+    def _drain_one(self, shard_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._call(self.workers[shard_id], {"op": "process",
+                                                       "max_requests": None})
+        except TransportClosed:
+            return None
+
+    def _drain_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent drain executor, grown (never shrunk) on demand."""
+        if self._executor is not None and self._executor_workers < workers:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="fleet-drain")
+            self._executor_workers = workers
+        return self._executor
+
+    def _apply_process_response(self, shard_id: str,
+                                value: Dict[str, Any]) -> List[ServiceRequest]:
+        # Snapshot first: reports built below reference the snapshot tasks.
+        snapshot = self._snapshots[shard_id]
+        snapshot.apply(value["coordinator"])
+        self._last_stats[shard_id] = stats_from_payload(value["stats"])
+        for name, clones in value.get("clones", []):
+            model = self._models.get(name)
+            if model is not None and model.shard_id == shard_id:
+                model.challenger_clones = int(clones)
+        results: List[ServiceRequest] = []
+        pending = self._pending[shard_id]
+        for row in value["results"]:
+            request_id = self._by_local.get((shard_id, int(row["local_id"])))
+            if request_id is None:
+                continue
+            record = self._records[request_id]
+            self._apply_result(record, row, snapshot)
+            if request_id in pending:
+                pending.remove(request_id)
+            results.append(record.request)
+        return results
+
+    def _apply_result(self, record: _RequestRecord, row: Dict[str, Any],
+                      snapshot: CoordinatorSnapshot) -> None:
+        request = record.request
+        request.status = row["status"]
+        request.error = row["error"]
+        request.cache_hit = bool(row["cache_hit"])
+        request.batched = bool(row["batched"])
+        request.completed_s = now()
+        payload = row["report"]
+        if payload is None:
+            request.report = None
+            return
+        task = snapshot.tasks[int(payload["task_id"])]
+        commitment = ExecutionCommitment(
+            value=bytes(payload["commitment"]["value"]),
+            input_hash=bytes(payload["commitment"]["input_hash"]),
+            output_hash=bytes(payload["commitment"]["output_hash"]),
+            meta=dict(payload["commitment"]["meta"]),
+        )
+        dispute = None
+        if payload["dispute"] is not None:
+            spec = payload["dispute"]
+            stats = spec["statistics"]
+            dispute = DisputeOutcome(
+                dispute_id=int(spec["dispute_id"]),
+                task_id=int(spec["task_id"]),
+                proposer_cheated=bool(spec["proposer_cheated"]),
+                winner=spec["winner"],
+                localized_operator=spec["localized_operator"],
+                adjudication=None,
+                statistics=DisputeStatistics(
+                    rounds=int(stats["rounds"]),
+                    dispute_time_s=float(stats["dispute_time_s"]),
+                    merkle_checks=int(stats["merkle_checks"]),
+                    challenger_flops=float(stats["challenger_flops"]),
+                    adjudication_flops=float(stats["adjudication_flops"]),
+                    gas_used=int(stats["gas_used"]),
+                ),
+                resolved_by_timeout=bool(spec["resolved_by_timeout"]),
+            )
+        request.report = SessionReport(
+            task=task,
+            result=_ResultSnapshot(commitment=commitment),
+            challenged=bool(payload["challenged"]),
+            finalized_optimistically=bool(payload["finalized_optimistically"]),
+            verification_reports=[_VerificationFlag(exceeded=flag)
+                                  for flag in payload["verification"]],
+            dispute=dispute,
+        )
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def drain_worker(self, shard_id: str) -> None:
+        """Administratively drain a live worker: move its tenants and queue.
+
+        The out-of-process analogue of the cluster's ``drain_shard``: each
+        tenant is withdrawn, detached (clone accounting preserved),
+        re-registered on its ring successor **without re-funding**, and its
+        queued requests are re-submitted there.
+        """
+        handle = self._handle(shard_id)
+        if not handle.alive:
+            raise FleetError(f"worker {shard_id!r} is dead; it cannot be drained")
+        if not self.ring.is_drained(shard_id):
+            self.ring.drain(shard_id)
+        handle.drained = True
+        for name in self.model_names:
+            model = self._models[name]
+            if model.shard_id != shard_id:
+                continue
+            withdrawn = [
+                self._by_local[(shard_id, int(local_id))]
+                for local_id in self._call(handle, {"op": "withdraw",
+                                                    "model": name})["local_ids"]
+            ]
+            clones = int(self._call(handle, {"op": "detach",
+                                             "model": name})["challenger_clones"])
+            self._re_home(model, withdrawn, clones, exclude=(shard_id,))
+
+    def _fail_over_worker(self, shard_id: str) -> None:
+        """Re-home a dead worker's tenants and queue on ring successors.
+
+        The worker is gone, so nothing can be withdrawn: the stored
+        registration payloads are replayed (``fund_accounts=False`` — the
+        tenants' accounts already exist on the shared chain and re-homing
+        must not create money) and the parent's own pending queue is
+        re-submitted.  Work the worker settled partially before dying stays
+        settled — transfers conserve value, so the ledger still balances.
+        """
+        queued = list(self._pending[shard_id])
+        self._pending[shard_id] = []
+        for name in self.model_names:
+            model = self._models[name]
+            if model.shard_id != shard_id:
+                continue
+            withdrawn = [request_id for request_id in queued
+                         if self._records[request_id].request.model_name == name]
+            self._re_home(model, withdrawn, model.challenger_clones,
+                          exclude=(shard_id,))
+
+    def _re_home(self, model: FleetModel, withdrawn: List[int], clones: int,
+                 exclude: Tuple[str, ...]) -> None:
+        target_id = self.ring.successor(model.key, exclude=exclude)
+        if not self.workers[target_id].alive:
+            raise FleetError(
+                f"ring successor {target_id!r} for {model.name!r} is dead")
+        old_shard = model.shard_id
+        payload = dict(model.payload)
+        payload["fund_accounts"] = False
+        payload["challenger_clones"] = int(clones)
+        value = self._call(self.workers[target_id], payload)
+        if bytes(value["digest"]) != model.key:
+            raise FleetError(
+                f"failover re-registration of {model.name!r} changed its digest")
+        model.shard_id = target_id
+        model.payload = payload
+        model.challenger_clones = int(clones)
+        for request_id in withdrawn:
+            record = self._records[request_id]
+            local_id = int(self._call(self.workers[target_id], {
+                "op": "submit",
+                "model": model.name,
+                "inputs": {name: np.asarray(value)
+                           for name, value in record.request.inputs.items()},
+                "proposer": record.proposer_spec,
+                "challenger": record.challenger_spec,
+                "force_challenge": bool(record.request.force_challenge),
+            })["local_id"])
+            if request_id in self._pending[old_shard]:
+                self._pending[old_shard].remove(request_id)
+            record.shard_id = target_id
+            record.local_id = local_id
+            record.request.status = "queued"
+            self._by_local[(target_id, local_id)] = request_id
+            self._pending[target_id].append(request_id)
+            self.redispatched_requests += 1
+        self.failovers += 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def coordinators(self) -> List[CoordinatorSnapshot]:
+        """Every worker coordinator mirror, dead workers included."""
+        return [self._snapshots[shard_id] for shard_id in sorted(self._snapshots)]
+
+    def stats(self) -> FleetStats:
+        for shard_id in self._live_workers():
+            try:
+                value = self._call(self.workers[shard_id], {"op": "stats"})
+            except TransportClosed:
+                continue
+            self._snapshots[shard_id].apply(value["coordinator"])
+            self._last_stats[shard_id] = stats_from_payload(value["stats"])
+        parts = [self._last_stats[shard_id]
+                 for shard_id in sorted(self._last_stats)]
+        total = ServiceStats.aggregate(parts)
+        return FleetStats(
+            **{key: getattr(total, key) for key in (
+                "requests_submitted", "requests_completed", "cache_hits",
+                "batched_requests", "disputes_opened", "dispute_rounds",
+                "processing_time_s", "busy_cpu_s", "pipeline_critical_s",
+                "pipelined_drains", "stage_busy_s", "latencies_s",
+                "status_counts")},
+            workers=len(self._live_workers()),
+            measured_wall_s=self.measured_wall_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Chunk-parallel Merkle commitment
+    # ------------------------------------------------------------------
+
+    def commit_weights_parallel(
+        self, parameters: Mapping[str, np.ndarray],
+    ) -> Tuple[MerkleTree, Dict[str, int]]:
+        """The fleet-parallel :func:`~repro.merkle.commitments.commit_weights`.
+
+        Leaf payloads are serialized parent-side (sorted names, identical
+        bytes to the serial path), shipped to the live workers in contiguous
+        chunks, hashed there, and reduced to a tree here — the root is
+        byte-identical to ``commit_weights(parameters)``.
+        """
+        names = sorted(parameters)
+        if not names:
+            raise ValueError("cannot commit an empty parameter set")
+        payloads = [
+            canonical_bytes({"name": name,
+                             "tensor": np.asarray(parameters[name])})
+            for name in names
+        ]
+        live = [shard_id for shard_id in self._live_workers()
+                if not self.workers[shard_id].drained]
+        if not live:
+            raise FleetError("no live workers to hash leaves on")
+        chunks: List[Tuple[str, List[bytes]]] = []
+        per_worker = -(-len(payloads) // len(live))  # ceil division
+        for index, shard_id in enumerate(live):
+            chunk = payloads[index * per_worker:(index + 1) * per_worker]
+            if chunk:
+                chunks.append((shard_id, chunk))
+        if len(chunks) == 1:
+            shard_id, chunk = chunks[0]
+            batches = [self._call(self.workers[shard_id],
+                                  {"op": "hash_leaves", "payloads": chunk})]
+        else:
+            pool = self._drain_pool(len(chunks))
+            futures = [pool.submit(self._call, self.workers[shard_id],
+                                   {"op": "hash_leaves", "payloads": chunk})
+                       for shard_id, chunk in chunks]
+            batches = [future.result() for future in futures]
+        leaf_hashes: List[bytes] = []
+        for batch in batches:
+            leaf_hashes.extend(bytes(digest) for digest in batch["hashes"])
+        tree = MerkleTree.from_leaf_hashes(leaf_hashes)
+        return tree, {name: idx for idx, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and release the drain executor (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard_id in sorted(self.workers):
+            handle = self.workers[shard_id]
+            if handle.alive:
+                try:
+                    self._call(handle, {"op": "shutdown"})
+                except (TransportClosed, WorkerError, FleetError):
+                    pass
+            handle.alive = False
+            handle.channel.close()
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0

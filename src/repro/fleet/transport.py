@@ -1,0 +1,89 @@
+"""Length-prefixed RPC framing over a socket pair.
+
+One :class:`MessageChannel` wraps one stream socket and moves whole messages:
+an 8-byte big-endian length prefix followed by the payload, encoded with the
+repository's canonical wire codec
+(:func:`~repro.utils.serialization.canonical_bytes`).  Everything that
+crosses a fleet process boundary — requests, verdicts, dispute statistics,
+chain settlement calls — travels through this one framing; there is no
+pickle on the data path, so a worker can only exchange the value shapes the
+codec admits (arrays, scalars, bytes, lists, string-keyed maps).
+
+The parent creates the pair with :func:`channel_pair` and ships the child
+socket to the worker process as a ``multiprocessing.Process`` argument (the
+``multiprocessing`` reduction machinery transfers the descriptor under both
+``fork`` and ``spawn`` start methods).  A peer that dies — or closes its end
+on orderly shutdown — surfaces as :class:`TransportClosed` on the next send
+or receive, which is the signal the fleet's failover path keys on.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Tuple
+
+from repro.utils.serialization import canonical_bytes, decode_canonical
+
+#: Width of the big-endian message-length prefix.
+LENGTH_BYTES = 8
+
+#: Largest chunk requested from the kernel per ``recv`` call.
+_RECV_CHUNK = 1 << 20
+
+
+class TransportClosed(ConnectionError):
+    """The peer hung up: worker death or an orderly channel shutdown."""
+
+
+class MessageChannel:
+    """Whole-message send/receive over one stream socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+
+    def send(self, payload: Any) -> None:
+        """Encode ``payload`` with the canonical codec and write one frame."""
+        data = canonical_bytes(payload)
+        frame = len(data).to_bytes(LENGTH_BYTES, "big") + data
+        try:
+            self._sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise TransportClosed(f"send on closed transport: {exc}") from exc
+
+    def recv(self) -> Any:
+        """Read one frame and decode it; raises TransportClosed on EOF."""
+        header = self._recv_exact(LENGTH_BYTES)
+        length = int.from_bytes(header, "big")
+        return decode_canonical(self._recv_exact(length))
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, _RECV_CHUNK))
+            except (ConnectionResetError, OSError) as exc:
+                raise TransportClosed(f"recv on closed transport: {exc}") from exc
+            if not chunk:
+                raise TransportClosed("peer closed the transport mid-message"
+                                      if remaining != count else
+                                      "peer closed the transport")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close races are benign
+            pass
+
+
+def channel_pair() -> Tuple[MessageChannel, socket.socket]:
+    """A connected (parent channel, raw child socket) pair.
+
+    The child end is returned raw so it can ride in ``Process`` args; the
+    worker wraps it in its own :class:`MessageChannel` after the fork/spawn.
+    """
+    parent_sock, child_sock = socket.socketpair()
+    return MessageChannel(parent_sock), child_sock

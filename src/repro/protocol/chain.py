@@ -189,6 +189,38 @@ class SimulatedChain:
         return self._append(self, sender, action, payload_bytes,
                             storage_writes, merkle_checks, details)
 
+    def append_stamped(self, sender: str, action: str, payload_bytes: int,
+                       storage_writes: int, merkle_checks: int,
+                       details: Optional[Dict[str, object]],
+                       block: int, timestamp: float,
+                       shard: Optional[str]) -> Transaction:
+        """Append a transaction stamped with an *externally supplied* clock.
+
+        This is the settlement entry point for out-of-process shard workers
+        (:mod:`repro.fleet`): the worker owns its shard clock — exactly as a
+        :class:`ShardChainView` does in-process — and ships the block height,
+        timestamp and shard tag alongside the call, while gas is costed here
+        with the chain's own schedule and the append is serialized under the
+        chain lock.  No clock is advanced: the remote clock already advanced
+        itself by the one-block-per-transaction rule.
+        """
+        gas = self.gas_schedule.cost(action, payload_bytes, storage_writes,
+                                     merkle_checks)
+        with self._lock:
+            tx = Transaction(
+                index=len(self.transactions),
+                block=int(block),
+                timestamp=float(timestamp),
+                sender=sender,
+                action=action,
+                gas_used=gas,
+                payload_bytes=int(payload_bytes),
+                details=dict(details or {}),
+                shard=shard,
+            )
+            self.transactions.append(tx)
+        return tx
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------

@@ -114,8 +114,14 @@ class TAOSession:
     # Phase 0
     # ------------------------------------------------------------------
 
-    def setup(self, owner: str = "model-owner") -> ModelCommitment:
-        """Calibrate (if necessary), commit the model and register it."""
+    def setup(self, owner: str = "model-owner",
+              fund_owner: bool = True) -> ModelCommitment:
+        """Calibrate (if necessary), commit the model and register it.
+
+        ``fund_owner=False`` registers without minting the owner's initial
+        balance — the failover path re-homing an already-funded tenant on a
+        new shard (or a new fleet worker) must not create money.
+        """
         if self.thresholds is None:
             if self.calibration is None:
                 if self._calibration_inputs is None:
@@ -135,7 +141,8 @@ class TAOSession:
             cache=self.hash_cache,
             committee_envelope=self.committee_envelope,
         )
-        self.coordinator.chain.fund(owner, self.initial_balance)
+        if fund_owner:
+            self.coordinator.chain.fund(owner, self.initial_balance)
         self.coordinator.register_model(self.model_commitment, owner=owner)
 
         factory = self.committee_factory or (
@@ -156,13 +163,17 @@ class TAOSession:
     # Role factories
     # ------------------------------------------------------------------
 
-    def make_user(self, name: str = "user", fee: float = 10.0) -> User:
-        self.coordinator.chain.fund(name, self.initial_balance)
+    def make_user(self, name: str = "user", fee: float = 10.0,
+                  fund: bool = True) -> User:
+        if fund:
+            self.coordinator.chain.fund(name, self.initial_balance)
         return User(name=name, fee_per_request=fee)
 
     def make_honest_proposer(self, name: str = "proposer",
-                             device: Optional[DeviceProfile] = None) -> HonestProposer:
-        self.coordinator.chain.fund(name, self.initial_balance)
+                             device: Optional[DeviceProfile] = None,
+                             fund: bool = True) -> HonestProposer:
+        if fund:
+            self.coordinator.chain.fund(name, self.initial_balance)
         return HonestProposer(name, device or self.devices[0], hash_cache=self.hash_cache)
 
     def make_adversarial_proposer(self, name: str, perturbations,
@@ -172,9 +183,11 @@ class TAOSession:
                                    hash_cache=self.hash_cache)
 
     def make_challenger(self, name: str = "challenger",
-                        device: Optional[DeviceProfile] = None) -> Challenger:
+                        device: Optional[DeviceProfile] = None,
+                        fund: bool = True) -> Challenger:
         self.require_setup()
-        self.coordinator.chain.fund(name, self.initial_balance)
+        if fund:
+            self.coordinator.chain.fund(name, self.initial_balance)
         return Challenger(name, device or self.devices[-1], self.thresholds,
                           hash_cache=self.hash_cache,
                           committee_envelope=self.committee_envelope)

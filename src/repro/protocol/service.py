@@ -303,6 +303,23 @@ class ServiceCore(abc.ABC):
                     inputs_list: Iterable[Mapping[str, np.ndarray]]) -> List[int]:
         return [self.submit(model_name, inputs) for inputs in inputs_list]
 
+    def close(self) -> None:
+        """Release any long-lived resources (executors, worker processes).
+
+        The plain in-process service holds none, so the default is a no-op;
+        front ends owning pools override it.  ``close`` is idempotent, and
+        every front end works as a context manager::
+
+            with TAOCluster(num_shards=4) as cluster:
+                ...
+        """
+
+    def __enter__(self) -> "ServiceCore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class TAOService(ServiceCore):
     """Multi-tenant, batching front end over the TAO protocol stack."""
@@ -364,9 +381,16 @@ class TAOService(ServiceCore):
         threshold_table=None,
         proposer_device: Optional[DeviceProfile] = None,
         challenger_device: Optional[DeviceProfile] = None,
+        fund_accounts: bool = True,
         **session_kwargs,
     ) -> TAOSession:
-        """Register one model: calibrate/commit once, build standing roles."""
+        """Register one model: calibrate/commit once, build standing roles.
+
+        ``fund_accounts=False`` builds the standing roles without minting
+        their initial balances — the re-registration leg of a process-fleet
+        failover, where the tenant's accounts already exist on the shared
+        settlement chain and re-homing must not create money.
+        """
         name = graph_module.name
         if name in self._models:
             raise ValueError(f"model {name!r} is already registered with this service")
@@ -383,13 +407,15 @@ class TAOService(ServiceCore):
             hash_cache=self.hash_cache,
             **session_kwargs,
         )
-        session.setup(owner=f"{name}-owner")
+        session.setup(owner=f"{name}-owner", fund_owner=fund_accounts)
         entry = ModelEntry(
             name=name,
             session=session,
-            proposer=session.make_honest_proposer(f"{name}-proposer", proposer_device),
-            challenger=session.make_challenger(f"{name}-challenger", challenger_device),
-            user=session.make_user(f"{name}-user"),
+            proposer=session.make_honest_proposer(f"{name}-proposer", proposer_device,
+                                                  fund=fund_accounts),
+            challenger=session.make_challenger(f"{name}-challenger", challenger_device,
+                                               fund=fund_accounts),
+            user=session.make_user(f"{name}-user", fund=fund_accounts),
         )
         self._models[name] = entry
         return session

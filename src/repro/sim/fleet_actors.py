@@ -1,0 +1,96 @@
+"""Simulator actor families rebuilt from wire specs inside fleet workers.
+
+When a scenario sets ``process_fleet=True`` the runner cannot hand role
+objects to the service — fault wrappers hold interpreter-override closures
+that no codec moves.  Instead each event ships a small spec map and the
+fleet worker (pointed at this module through the fleet's ``actor_module``
+hello field) rebuilds the exact actor the in-process runner would have
+built: same names, same funding, same devices, same derived seeds — so the
+fleet run lands on the same verdicts and the same ledger.
+
+The override closures themselves are reconstructed here with
+:func:`repro.sim.faults.make_fault_overrides` against the worker session's
+*registered* graph and threshold table.  That is only the same computation
+the parent runner performs when the registered table equals the workload
+table — which is why the runner rejects ``process_fleet`` scenarios with
+``threshold_scale != 1.0``.
+
+``stale_trace`` decoys are memoized per (model, decoy seed) at module level:
+one worker process plays every event of its tenant, so the memo mirrors the
+runner's ``honest_results`` cache exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.fleet import actors as default_actors
+from repro.protocol.roles import HonestProposer
+from repro.sim.faults import (
+    ColludingCommitteeMember,
+    SimChallenger,
+    SimProposer,
+    StaleTraceProposer,
+    make_fault_overrides,
+)
+from repro.tensorlib.device import DEVICE_FLEET
+
+#: Per-process memo of decoy traces for stale_trace events, keyed by
+#: (model name, decoy seed) — the worker-side twin of the runner's
+#: ``honest_results`` map.
+_DECOY_CACHE: Dict[Tuple[str, int], Any] = {}
+
+
+def build_proposer(service: Any, model_name: str, spec: Dict[str, Any]):
+    """Rebuild one simulator proposer from its wire spec."""
+    kind = spec["type"]
+    session = service.model(model_name).session
+    chain = session.coordinator.chain
+    if kind == "sim_fault":
+        overrides = make_fault_overrides(
+            spec["kind"], session.graph_module, session.thresholds,
+            spec["victim"], spec["magnitude"], int(spec["seed"]),
+        )
+        chain.fund(spec["name"], session.initial_balance)
+        return SimProposer(spec["name"], DEVICE_FLEET[0], overrides,
+                           hash_cache=service.hash_cache,
+                           partition_delay_s=float(spec["partition_delay_s"]))
+    if kind == "stale_trace":
+        key = (model_name, int(spec["decoy_key"]))
+        source = _DECOY_CACHE.get(key)
+        if source is None:
+            scout = HonestProposer(f"{spec['name']}-scout", DEVICE_FLEET[0],
+                                   hash_cache=service.hash_cache)
+            source = scout.execute(session.graph_module,
+                                   session.model_commitment,
+                                   spec["decoy_inputs"])
+            _DECOY_CACHE[key] = source
+        chain.fund(spec["name"], session.initial_balance)
+        return StaleTraceProposer(spec["name"], DEVICE_FLEET[0], source,
+                                  hash_cache=service.hash_cache)
+    # honest / adversarial specs are the fleet's own vocabulary.
+    return default_actors.build_proposer(service, model_name, spec)
+
+
+def build_challenger(service: Any, model_name: str, spec: Dict[str, Any]):
+    """Rebuild one simulator challenger override from its wire spec."""
+    if spec["type"] != "sim_challenger":
+        return default_actors.build_challenger(service, model_name, spec)
+    session = service.model(model_name).session
+    session.coordinator.chain.fund(spec["name"], session.initial_balance)
+    return SimChallenger(spec["name"], session.devices[-1], session.thresholds,
+                         hash_cache=service.hash_cache,
+                         selection_delay_s=float(spec["selection_delay_s"]),
+                         committee_envelope=session.committee_envelope)
+
+
+def build_committee_factory(majority: int) -> Callable:
+    """The runner's bought-majority committee, rebuilt from its one knob."""
+
+    def factory(i, device, _majority=int(majority)):
+        if i < _majority:
+            return ColludingCommitteeMember(f"colluder-{i}", device)
+        from repro.protocol.roles import CommitteeMember
+        return CommitteeMember(f"committee-{i}", device)
+
+    return factory

@@ -38,6 +38,7 @@ from repro.calibration.committee import (
 )
 from repro.calibration.thresholds import ThresholdTable
 from repro.cluster.cluster import TAOCluster
+from repro.fleet.fleet import ProcessFleet
 from repro.graph.graph import GraphModule
 from repro.merkle.cache import HashCache
 from repro.protocol.coordinator import Coordinator
@@ -158,15 +159,23 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
     """Execute an (already expanded) schedule against a fresh service."""
     scenario = schedule.scenario
     service = _build_service(scenario, workload)
-    session = service.model(workload.graph.name).session
+    fleet = isinstance(service, ProcessFleet)
+    # A fleet's sessions live inside worker processes; actors travel as
+    # wire specs instead of objects, so no parent-side session is needed.
+    session = None if fleet else service.model(workload.graph.name).session
 
     request_ids: Dict[int, int] = {}
     honest_results: Dict[int, object] = {}
     for cycle_index, cycle in enumerate(schedule.cycles):
         for event in cycle:
-            proposer = _build_proposer(event, scenario, workload, session,
-                                       honest_results)
-            challenger = _build_challenger(event, scenario, workload, service)
+            if fleet:
+                proposer = _proposer_spec(event, workload)
+                challenger = _challenger_spec(event)
+            else:
+                proposer = _build_proposer(event, scenario, workload, session,
+                                           honest_results)
+                challenger = _build_challenger(event, scenario, workload,
+                                               service)
             request_ids[event.index] = service.submit(
                 workload.graph.name,
                 workload.sample_inputs(event.input_seed),
@@ -174,18 +183,24 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
                 force_challenge=event.force_challenge,
                 challenger=challenger,
             )
-        if (scenario.drain_home_at_cycle == cycle_index
-                and isinstance(service, TAOCluster)):
+        if scenario.drain_home_at_cycle == cycle_index:
             # Failover under fire: the cycle's events are already queued on
             # the home shard; draining it withdraws and re-dispatches them
             # to the ring successor before they are processed.
-            service.drain_shard(service.location(workload.graph.name))
+            if isinstance(service, TAOCluster):
+                service.drain_shard(service.location(workload.graph.name))
+            elif fleet and len(service.ring.live_nodes) > 1:
+                service.drain_worker(service.location(workload.graph.name))
         service.process()
 
     outcomes = [
         _outcome_for(event, service.request(request_ids[event.index]), service)
         for event in schedule.events
     ]
+    if fleet:
+        # Everything invariants walk (coordinator snapshots, the parent
+        # chain, parent request records) outlives the workers.
+        service.close()
     result = SimulationResult(schedule=schedule, service=service, outcomes=outcomes)
     result.violations = check_invariants(result)
     return result
@@ -196,6 +211,32 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
 # ----------------------------------------------------------------------
 
 def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
+    if scenario.process_fleet:
+        if scenario.threshold_scale != 1.0:
+            raise ValueError(
+                "process_fleet scenarios require threshold_scale == 1.0: "
+                "fault overrides are rebuilt worker-side from the registered "
+                "threshold table, which must equal the workload table")
+        fleet = ProcessFleet(
+            num_workers=max(scenario.num_shards, 1),
+            n_way=scenario.n_way,
+            leaf_path=scenario.leaf_path,
+            committee_size=scenario.committee_size,
+            hash_cache=workload.hash_cache,
+            enable_pipeline=scenario.pipelined,
+            cycle_capacity=scenario.cycle_capacity,
+            actor_module="repro.sim.fleet_actors",
+        )
+        envelope = workload.committee_envelope \
+            if scenario.calibrated_committee else None
+        fleet.register_model(
+            workload.graph,
+            threshold_table=workload.thresholds,
+            committee_envelope=envelope,
+            colluding_majority=(scenario.committee_size // 2) + 1
+            if scenario.colluding_committee else None,
+        )
+        return fleet
     if scenario.num_shards > 1:
         service: ServiceCore = TAOCluster(
             num_shards=scenario.num_shards,
@@ -292,6 +333,47 @@ def _build_challenger(event: RequestEvent, scenario: Scenario,
     return SimChallenger(name, session.devices[-1], session.thresholds,
                          hash_cache=workload.hash_cache, selection_delay_s=delay,
                          committee_envelope=session.committee_envelope)
+
+
+def _proposer_spec(event: RequestEvent,
+                   workload: SimWorkload) -> Optional[Dict[str, object]]:
+    """The wire-spec twin of :func:`_build_proposer` for fleet scenarios.
+
+    Ships exactly the inputs the in-process path feeds its actor
+    constructors — names, derived seeds, devices, funding — so
+    :mod:`repro.sim.fleet_actors` rebuilds the identical actor inside the
+    worker process.
+    """
+    name = f"sim-proposer-{event.index}"
+    if event.kind == "honest":
+        return None
+    if event.kind == "device_drift":
+        return {"type": "honest", "name": name,
+                "device_index": event.drift_device % len(DEVICE_FLEET),
+                "fund": True}
+    if event.kind == "stale_trace":
+        # The decoy trace is memoized worker-side per (model, seed), the
+        # twin of the runner's honest_results map.
+        return {"type": "stale_trace", "name": name,
+                "decoy_key": int(event.decoy_seed),
+                "decoy_inputs": workload.sample_inputs(event.decoy_seed)}
+    return {
+        "type": "sim_fault", "name": name, "kind": event.kind,
+        "victim": event.victim, "magnitude": float(event.magnitude),
+        "seed": derive_seed(event.fault_seed, "fault", event.index),
+        "partition_delay_s": DROPPED_MOVE_DELAY_S
+        if event.kind == "drop_partition" else 0.0,
+    }
+
+
+def _challenger_spec(event: RequestEvent) -> Optional[Dict[str, object]]:
+    """The wire-spec twin of :func:`_build_challenger` for fleet scenarios."""
+    if event.kind not in ("drop_selection", "late_move"):
+        return None
+    delay = DROPPED_MOVE_DELAY_S if event.kind == "drop_selection" \
+        else LATE_MOVE_DELAY_S
+    return {"type": "sim_challenger", "name": f"sim-challenger-{event.index}",
+            "selection_delay_s": float(delay)}
 
 
 def _dispute_record(service: ServiceCore, task):

@@ -89,6 +89,16 @@ class Scenario:
     #: requests are withdrawn and re-dispatched to the ring's next node,
     #: exercising failover under whatever faults the cycle carries.
     drain_home_at_cycle: Optional[int] = None
+    #: When True the scenario runs against a
+    #: :class:`~repro.fleet.fleet.ProcessFleet` of ``num_shards`` worker
+    #: *processes* instead of the in-process service/cluster: actors travel
+    #: as wire specs and are rebuilt inside the workers
+    #: (:mod:`repro.sim.fleet_actors`), settlement flows back to the shared
+    #: parent chain, and ``drain_home_at_cycle`` drains a fleet worker.
+    #: Requires ``threshold_scale == 1.0`` (fault overrides are rebuilt
+    #: worker-side from the *registered* table, which must therefore equal
+    #: the workload table the in-process runner uses).
+    process_fleet: bool = False
     #: Whether the service drains on the stage pipeline (the service
     #: default) or the synchronous reference path.  Pipelining only overlaps
     #: when a drain spans several cycles — pair with ``cycle_capacity``.

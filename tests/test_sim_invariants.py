@@ -65,7 +65,8 @@ RUN_STATS = {
     "completed_sweeps": set(),
 }
 
-CAMPAIGN_SWEEPS = {"mlp", "cluster", "pipelined", "committee"} | set(ZOO_WORKLOADS)
+CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "pipelined", "committee"} \
+    | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -192,6 +193,90 @@ def test_randomized_cluster_scenarios_uphold_all_invariants(sim_mlp_workload):
             failovers_exercised += 1
     assert failovers_exercised == 8
     RUN_STATS["completed_sweeps"].add("cluster")
+
+
+def test_randomized_fleet_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """12 seeded scenarios against real multi-process fleets, faults included.
+
+    The same invariant families as the cluster campaign, but the shards are
+    genuine worker *processes* behind the serialized RPC transport: actors
+    travel as wire specs and are rebuilt worker-side
+    (:mod:`repro.sim.fleet_actors`), settlement flows back to the shared
+    parent chain as nested chain calls, and liveness/conservation sweeps
+    walk the parent-side coordinator snapshots.  Every fourth scenario
+    drains the model's home worker with a submitted cycle still queued, so
+    the cycle's events (faulty actors and all) are withdrawn and
+    re-dispatched to the ring successor across process boundaries.
+    """
+    failovers_exercised = 0
+    for seed in range(12):
+        drain = 1 if seed % 4 == 0 else None
+        scenario = Scenario(
+            name=f"fleet-{seed}",
+            seed=4200 + seed,
+            model="tiny_mlp",
+            num_requests=5 + seed % 3,
+            burst="front" if drain is not None else BURSTS[seed % 3],
+            n_way=2 + (seed % 3),
+            leaf_path=LEAF_PATHS[seed % 3],
+            strict_localization=True,
+            num_shards=2 + seed % 2,
+            drain_home_at_cycle=drain,
+            process_fleet=True,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        if drain is not None:
+            assert result.service.failovers >= 1
+            failovers_exercised += 1
+    assert failovers_exercised == 3
+    RUN_STATS["completed_sweeps"].add("fleet")
+
+
+def test_fleet_matches_in_process_reference_on_campaign_template(
+        sim_mlp_workload):
+    """Differential pin: the fleet is verdict- and ledger-transparent.
+
+    The first 6 seeds of the MLP campaign template are run in-process and
+    through a real 2-worker process fleet; per-event statuses, flags and
+    challenge bits must agree exactly, and the shared parent chain must land
+    on the in-process ledger to float equality — account by account.
+    """
+    for seed in range(6):
+        scenario = Scenario(
+            name=f"mlp-{seed}", seed=seed, model="tiny_mlp",
+            num_requests=5 + seed % 4, burst=BURSTS[seed % 3],
+            n_way=2 + (seed % 3), leaf_path=LEAF_PATHS[seed % 3],
+            strict_localization=True,
+        )
+        reference = run_scenario(scenario, sim_mlp_workload)
+        fleet_run = run_scenario(
+            replace(scenario, process_fleet=True, num_shards=2),
+            sim_mlp_workload)
+        _assert_clean(reference)
+        _assert_clean(fleet_run)
+        for ref_outcome, fleet_outcome in zip(reference.outcomes,
+                                              fleet_run.outcomes):
+            assert (fleet_outcome.status, fleet_outcome.flagged,
+                    fleet_outcome.challenged) == \
+                (ref_outcome.status, ref_outcome.flagged,
+                 ref_outcome.challenged), \
+                (scenario.name, ref_outcome.event.index)
+        ref_chain = reference.service.coordinator.chain
+        assert dict(fleet_run.service.chain.balances) == \
+            dict(ref_chain.balances)
+        assert fleet_run.service.chain.minted == ref_chain.minted
+
+
+def test_fleet_rejects_scaled_thresholds(sim_mlp_workload):
+    """Worker-side fault rebuilds require the registered == workload table."""
+    scenario = Scenario(
+        name="fleet-canary", seed=13, model="tiny_mlp", num_requests=2,
+        process_fleet=True, threshold_scale=0.5,
+    )
+    with pytest.raises(ValueError, match="threshold_scale"):
+        run_scenario(scenario, sim_mlp_workload)
 
 
 def test_randomized_pipelined_scenarios_uphold_all_invariants(sim_mlp_workload):
