@@ -49,6 +49,38 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def emit_report(experiment_id: str, title: str,
+                sections: Sequence[tuple], notes: str = "") -> str:
+    """Print and persist a multi-table report to ``results/<experiment_id>.md``.
+
+    ``sections`` is a sequence of ``(subtitle, headers, rows)`` triples —
+    the multi-table sibling of :func:`emit_table` for benchmarks whose story
+    needs more than one table (e.g. a scale-up timeline plus a latency
+    quantile breakdown).
+    """
+    stamp = host_provenance()
+    blocks = []
+    for subtitle, headers, rows in sections:
+        blocks.append((subtitle, format_table(headers, [list(r) for r in rows])))
+    text = f"== {experiment_id}: {title} ==\n"
+    for subtitle, table in blocks:
+        text += f"\n-- {subtitle} --\n{table}\n"
+    if notes:
+        text += f"\n{notes}\n"
+    text += f"\n{stamp}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {experiment_id}: {title}\n")
+        for subtitle, table in blocks:
+            handle.write(f"\n## {subtitle}\n\n{table}\n")
+        if notes:
+            handle.write(f"\n{notes}\n")
+        handle.write(f"\n_{stamp}_\n")
+    return path
+
+
 def emit_table(experiment_id: str, title: str, headers: Sequence[str],
                rows: Iterable[Sequence[object]], notes: str = "") -> str:
     """Print a table and persist it to ``benchmarks/results/<experiment_id>.md``."""

@@ -440,6 +440,31 @@ class TAOCluster(ServiceCore):
     def pending_count(self) -> int:
         return sum(shard.service.pending_count for shard in self.shards.values())
 
+    @property
+    def active_shard_count(self) -> int:
+        """Shards currently accepting traffic (not drained)."""
+        return sum(1 for shard in self.shards.values() if not shard.drained)
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Pending requests per shard."""
+        return {shard_id: shard.service.pending_count
+                for shard_id, shard in self.shards.items()}
+
+    def queue_ages(self, at_s: Optional[float] = None) -> List[float]:
+        """Ages (seconds) of every queued request fleet-wide, oldest first."""
+        reference = now() if at_s is None else float(at_s)
+        ages: List[float] = []
+        for shard in self.shards.values():
+            ages.extend(shard.service.queue_ages(at_s=reference))
+        return sorted(ages, reverse=True)
+
+    def queued_model_names(self) -> List[str]:
+        """Distinct tenants with queued work anywhere on the fleet."""
+        names: set = set()
+        for shard in self.shards.values():
+            names.update(shard.service.queued_model_names())
+        return sorted(names)
+
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""Open-loop load generation: seeded arrival schedules over a tenant zoo.
+
+Closed-loop drivers (submit, drain, repeat) can never overload the service —
+each iteration waits for completion, so queues stay shallow and an autoscaler
+has nothing to react to.  The open-loop generator decouples *arrival* from
+*completion*: it materializes the entire arrival schedule up front from a
+piecewise rate function (:class:`RateSchedule` — constant, step spike, ramp),
+assigns each arrival a tenant drawn from a heavy-tail Zipf popularity (the
+few-hot-many-cold shape of multi-tenant serving), and a payload seed from a
+small per-tenant pool so the content-addressed result cache sees realistic
+repeat traffic.
+
+Everything is a pure function of the seed: arrival times come from a Poisson
+process simulated by *thinning* against the schedule's peak rate, tenants and
+payloads from generators derived with :func:`~repro.utils.rng.derive_seed`.
+Same seed, same schedule — in any process, on any host (pinned by the
+cross-process determinism test).  Forced-challenge arrivals draw payload
+seeds from a disjoint range so a forced request can never alias a cached
+honest verdict (a cache hit would skip its dispute and break differential
+exactness between runs that disagree only on scaling decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, seeded_rng
+
+#: Forced-challenge arrivals draw payload seeds at this offset so they can
+#: never collide with the per-tenant honest payload pool.
+_FORCED_SEED_OFFSET = 10_000
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when, which tenant, which payload."""
+
+    index: int
+    time_s: float
+    tenant: str
+    payload_seed: int
+    force_challenge: bool = False
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One piece of a piecewise arrival-rate function."""
+
+    duration_s: float
+    start_rate: float
+    end_rate: float
+
+    def rate_at(self, offset_s: float) -> float:
+        if self.duration_s <= 0:
+            return self.start_rate
+        frac = min(max(offset_s / self.duration_s, 0.0), 1.0)
+        return self.start_rate + (self.end_rate - self.start_rate) * frac
+
+
+class RateSchedule:
+    """Piecewise arrival rate (requests/second) over a finite horizon."""
+
+    def __init__(self, phases: Sequence[RatePhase]) -> None:
+        if not phases:
+            raise ValueError("a schedule needs at least one phase")
+        for phase in phases:
+            if phase.duration_s <= 0:
+                raise ValueError("phase durations must be positive")
+            if min(phase.start_rate, phase.end_rate) < 0:
+                raise ValueError("rates must be non-negative")
+        self.phases = tuple(phases)
+
+    @classmethod
+    def constant(cls, rate: float, duration_s: float) -> "RateSchedule":
+        return cls([RatePhase(duration_s, rate, rate)])
+
+    @classmethod
+    def step(cls, base_rate: float, peak_rate: float, spike_at_s: float,
+             spike_duration_s: float, duration_s: float) -> "RateSchedule":
+        """Base load, a square spike, then base load again."""
+        if not 0 < spike_at_s < spike_at_s + spike_duration_s < duration_s:
+            raise ValueError("spike must fall strictly inside the horizon")
+        return cls([
+            RatePhase(spike_at_s, base_rate, base_rate),
+            RatePhase(spike_duration_s, peak_rate, peak_rate),
+            RatePhase(duration_s - spike_at_s - spike_duration_s,
+                      base_rate, base_rate),
+        ])
+
+    @classmethod
+    def ramp(cls, start_rate: float, end_rate: float,
+             duration_s: float) -> "RateSchedule":
+        return cls([RatePhase(duration_s, start_rate, end_rate)])
+
+    @property
+    def duration_s(self) -> float:
+        return sum(phase.duration_s for phase in self.phases)
+
+    @property
+    def peak_rate(self) -> float:
+        return max(max(phase.start_rate, phase.end_rate)
+                   for phase in self.phases)
+
+    def rate_at(self, time_s: float) -> float:
+        """Instantaneous rate; zero outside the horizon."""
+        if time_s < 0:
+            return 0.0
+        offset = time_s
+        for phase in self.phases:
+            if offset <= phase.duration_s:
+                return phase.rate_at(offset)
+            offset -= phase.duration_s
+        return 0.0
+
+
+class OpenLoopGenerator:
+    """Materializes a seeded arrival schedule for a tenant zoo.
+
+    ``process="poisson"`` simulates a non-homogeneous Poisson process by
+    thinning against the schedule's peak rate; ``process="uniform"`` spaces
+    arrivals deterministically at the instantaneous rate (useful when a test
+    wants exact per-phase arrival counts).  ``force_challenge_every=k``
+    flips every k-th arrival (1-based) into a forced challenge with a
+    payload seed from the disjoint forced range.
+    """
+
+    def __init__(
+        self,
+        schedule: RateSchedule,
+        tenants: Sequence[str],
+        seed: int,
+        zipf_exponent: float = 1.1,
+        payload_pool: int = 4,
+        payload_seed_base: int = 500,
+        force_challenge_every: int = 0,
+        process: str = "poisson",
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if payload_pool < 1:
+            raise ValueError("payload_pool must be >= 1")
+        if process not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival process {process!r}")
+        self.schedule = schedule
+        self.tenants = tuple(tenants)
+        self.seed = int(seed)
+        self.zipf_exponent = float(zipf_exponent)
+        self.payload_pool = int(payload_pool)
+        self.payload_seed_base = int(payload_seed_base)
+        self.force_challenge_every = int(force_challenge_every)
+        self.process = process
+        # Zipf popularity over tenant *rank*: weight(rank) = 1 / rank^s.
+        ranks = np.arange(1, len(self.tenants) + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, self.zipf_exponent)
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    # ------------------------------------------------------------------
+
+    def _arrival_times(self) -> List[float]:
+        rng = seeded_rng(derive_seed(self.seed, "elastic", "arrivals"))
+        times: List[float] = []
+        horizon = self.schedule.duration_s
+        if self.process == "uniform":
+            t = 0.0
+            while t < horizon:
+                rate = self.schedule.rate_at(t)
+                if rate <= 0:
+                    # Skip forward to the next phase boundary.
+                    t = self._next_boundary(t)
+                    continue
+                times.append(t)
+                t += 1.0 / rate
+            return times
+        peak = self.schedule.peak_rate
+        if peak <= 0:
+            return times
+        t = 0.0
+        while True:
+            # Thinning: candidate arrivals at the peak rate, accepted with
+            # probability rate(t)/peak — a textbook non-homogeneous Poisson.
+            t += float(rng.exponential(1.0 / peak))
+            if t >= horizon:
+                return times
+            if float(rng.random()) * peak <= self.schedule.rate_at(t):
+                times.append(t)
+
+    def _next_boundary(self, time_s: float) -> float:
+        edge = 0.0
+        for phase in self.schedule.phases:
+            edge += phase.duration_s
+            if edge > time_s:
+                return edge
+        return self.schedule.duration_s
+
+    def generate(self) -> List[Arrival]:
+        """The full seeded arrival schedule, sorted by time."""
+        times = self._arrival_times()
+        tenant_rng = seeded_rng(derive_seed(self.seed, "elastic", "tenants"))
+        payload_rng = seeded_rng(derive_seed(self.seed, "elastic", "payloads"))
+        arrivals: List[Arrival] = []
+        for index, time_s in enumerate(times):
+            rank = int(np.searchsorted(self._cdf, float(tenant_rng.random()),
+                                       side="right"))
+            tenant = self.tenants[min(rank, len(self.tenants) - 1)]
+            forced = (self.force_challenge_every > 0
+                      and (index + 1) % self.force_challenge_every == 0)
+            if forced:
+                payload_seed = (self.payload_seed_base + _FORCED_SEED_OFFSET
+                                + index)
+            else:
+                payload_seed = (self.payload_seed_base
+                                + int(payload_rng.integers(0, self.payload_pool)))
+            arrivals.append(Arrival(index=index, time_s=float(time_s),
+                                    tenant=tenant, payload_seed=payload_seed,
+                                    force_challenge=forced))
+        return arrivals
+
+    def tenant_shares(self, arrivals: Sequence[Arrival]) -> List[Tuple[str, float]]:
+        """Observed per-tenant traffic share, most popular first."""
+        counts = {tenant: 0 for tenant in self.tenants}
+        for arrival in arrivals:
+            counts[arrival.tenant] += 1
+        total = max(1, len(arrivals))
+        return sorted(((tenant, count / total)
+                       for tenant, count in counts.items()),
+                      key=lambda item: (-item[1], item[0]))
+
+
+def schedule_fingerprint(arrivals: Sequence[Arrival]) -> List[Tuple]:
+    """A codec-friendly, order-preserving projection of a schedule.
+
+    Used by the determinism pins: two generators agree iff their
+    fingerprints are equal element-wise.
+    """
+    return [(a.index, round(a.time_s, 12), a.tenant, a.payload_seed,
+             a.force_challenge) for a in arrivals]

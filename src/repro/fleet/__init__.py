@@ -24,7 +24,12 @@ from repro.fleet.fleet import (
     WorkerError,
     WorkerHandle,
 )
-from repro.fleet.transport import MessageChannel, TransportClosed, channel_pair
+from repro.fleet.transport import (
+    MessageChannel,
+    TransportClosed,
+    TransportTimeout,
+    channel_pair,
+)
 from repro.fleet.worker import worker_main
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "MessageChannel",
     "ProcessFleet",
     "TransportClosed",
+    "TransportTimeout",
     "WorkerError",
     "WorkerHandle",
     "channel_pair",

@@ -45,7 +45,12 @@ import numpy as np
 from repro.calibration.calibrator import CalibrationConfig, Calibrator
 from repro.calibration.thresholds import ThresholdTable
 from repro.cluster.ring import ConsistentHashRing
-from repro.fleet.transport import MessageChannel, TransportClosed, channel_pair
+from repro.fleet.transport import (
+    MessageChannel,
+    TransportClosed,
+    TransportTimeout,
+    channel_pair,
+)
 from repro.fleet.wire import graph_to_payload, stats_from_payload
 from repro.fleet.worker import worker_main
 from repro.graph.graph import GraphModule
@@ -243,6 +248,7 @@ class ProcessFleet(ServiceCore):
         result_cache_size: int = 256,
         actor_module: str = "repro.fleet.actors",
         start_method: Optional[str] = None,
+        worker_timeout_s: Optional[float] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -251,6 +257,12 @@ class ProcessFleet(ServiceCore):
         self.alpha = float(alpha)
         self.hash_cache = hash_cache or HashCache()
         self.actor_module = actor_module
+        #: Hung-worker deadline: every parent-side channel operation must
+        #: complete within this many seconds or the worker is declared
+        #: wedged (:class:`TransportTimeout`) and failed over like a dead
+        #: one.  ``None`` waits forever (the pre-timeout behavior).
+        self.worker_timeout_s = (None if worker_timeout_s is None
+                                 else float(worker_timeout_s))
         self._service_knobs = {
             "max_batch": int(max_batch),
             "enable_batching": bool(enable_batching),
@@ -290,7 +302,8 @@ class ProcessFleet(ServiceCore):
     # ------------------------------------------------------------------
 
     def _spawn(self, shard_id: str) -> WorkerHandle:
-        parent_channel, child_sock = channel_pair()
+        parent_channel, child_sock = channel_pair(
+            deadline_s=self.worker_timeout_s)
         process = self._context.Process(
             target=worker_main, args=(child_sock,),
             name=f"fleet-{shard_id}", daemon=True,
@@ -394,6 +407,12 @@ class ProcessFleet(ServiceCore):
             self.ring.drain(handle.shard_id)
         handle.channel.close()
         handle.process.join(timeout=1.0)
+        if handle.process.is_alive():
+            # Hung-but-alive (the TransportTimeout path): the worker holds
+            # its socket open but will never answer.  Kill it so a wedged
+            # child cannot outlive its failover.
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
 
     # ------------------------------------------------------------------
     # Tenant management
@@ -508,14 +527,24 @@ class ProcessFleet(ServiceCore):
                     f"fleet {label} must be an actor-spec dict, not "
                     f"{type(spec).__name__}; role objects cannot cross the "
                     "process boundary")
-        local_id = int(self._call(self._handle(record.shard_id), {
+        payload = {
             "op": "submit",
             "model": model_name,
             "inputs": {name: np.asarray(value) for name, value in inputs.items()},
             "proposer": proposer,
             "challenger": challenger,
             "force_challenge": bool(force_challenge),
-        })["local_id"])
+        }
+        try:
+            local_id = int(self._call(self._handle(record.shard_id),
+                                      payload)["local_id"])
+        except TransportClosed:
+            # The home worker died — or wedged past its deadline — under our
+            # feet.  It is already marked dead and ring-drained; re-home its
+            # tenants (and queue) and retry once on the new home.
+            self._fail_over_worker(record.shard_id)
+            local_id = int(self._call(self._handle(record.shard_id),
+                                      payload)["local_id"])
         request_id = len(self._records)
         request = ServiceRequest(
             request_id=request_id, model_name=model_name, inputs=dict(inputs),
@@ -718,6 +747,74 @@ class ProcessFleet(ServiceCore):
                                              "model": name})["challenger_clones"])
             self._re_home(model, withdrawn, clones, exclude=(shard_id,))
 
+    def undrain_worker(self, shard_id: str) -> None:
+        """Return a drained worker to service; ring placement is restored.
+
+        Tenants whose ring home flips back (and their queued requests)
+        migrate through the same withdraw/detach/replay path as failover —
+        no re-funding, so the move is ledger-invisible.
+        """
+        handle = self._handle(shard_id)
+        if not handle.alive:
+            raise FleetError(
+                f"worker {shard_id!r} is dead; it cannot be undrained")
+        if not handle.drained:
+            raise FleetError(f"worker {shard_id!r} is not drained")
+        self.ring.undrain(shard_id)
+        handle.drained = False
+        self._rebalance()
+
+    def add_worker(self, shard_id: Optional[str] = None) -> str:
+        """Spawn a fresh worker, join the ring, migrate the tenants it won.
+
+        The cluster's ``add_shard`` for the process tier: the ring's
+        minimal-migration property means exactly the tenants whose arcs the
+        new worker claimed move to it.  Dead and drained worker ids stay
+        reserved (their shard tags live on the shared settlement log), so a
+        generated id never aliases one.
+        """
+        if self._closed:
+            raise FleetError("the fleet is closed")
+        if shard_id is None:
+            index = len(self.workers)
+            while f"shard-{index}" in self.workers:
+                index += 1
+            shard_id = f"shard-{index}"
+        elif shard_id in self.workers:
+            raise FleetError(f"worker {shard_id!r} already exists")
+        self._spawn(shard_id)
+        self._rebalance()
+        return shard_id
+
+    def _rebalance(self) -> None:
+        """Align every tenant with its ring owner (deterministic migration)."""
+        for name in self.model_names:
+            model = self._models[name]
+            target = self.ring.node_for(model.key)
+            if target != model.shard_id:
+                self._migrate_model(model, target)
+
+    def _migrate_model(self, model: FleetModel, target_id: str) -> None:
+        """Move one tenant: live sources are withdrawn/detached, dead ones
+        replayed from the parent's own records."""
+        source = self.workers.get(model.shard_id)
+        if source is not None and source.alive:
+            withdrawn = [
+                self._by_local[(model.shard_id, int(local_id))]
+                for local_id in self._call(source, {
+                    "op": "withdraw", "model": model.name})["local_ids"]
+            ]
+            clones = int(self._call(source, {
+                "op": "detach", "model": model.name})["challenger_clones"])
+        else:
+            withdrawn = [
+                request_id
+                for request_id in self._pending.get(model.shard_id, [])
+                if self._records[request_id].request.model_name == model.name
+            ]
+            clones = model.challenger_clones
+        self._place_model(model, target_id, withdrawn, clones)
+
     def _fail_over_worker(self, shard_id: str) -> None:
         """Re-home a dead worker's tenants and queue on ring successors.
 
@@ -742,9 +839,20 @@ class ProcessFleet(ServiceCore):
     def _re_home(self, model: FleetModel, withdrawn: List[int], clones: int,
                  exclude: Tuple[str, ...]) -> None:
         target_id = self.ring.successor(model.key, exclude=exclude)
+        self._place_model(model, target_id, withdrawn, clones)
+        self.failovers += 1
+
+    def _place_model(self, model: FleetModel, target_id: str,
+                     withdrawn: List[int], clones: int) -> None:
+        """Re-register ``model`` on ``target_id`` and re-submit its queue.
+
+        The stored registration payload is replayed with
+        ``fund_accounts=False`` — the tenant's accounts already exist on the
+        shared chain, and no membership change may create money.
+        """
         if not self.workers[target_id].alive:
             raise FleetError(
-                f"ring successor {target_id!r} for {model.name!r} is dead")
+                f"placement target {target_id!r} for {model.name!r} is dead")
         old_shard = model.shard_id
         payload = dict(model.payload)
         payload["fund_accounts"] = False
@@ -775,7 +883,6 @@ class ProcessFleet(ServiceCore):
             self._by_local[(target_id, local_id)] = request_id
             self._pending[target_id].append(request_id)
             self.redispatched_requests += 1
-        self.failovers += 1
 
     # ------------------------------------------------------------------
     # Observability
@@ -784,6 +891,30 @@ class ProcessFleet(ServiceCore):
     def coordinators(self) -> List[CoordinatorSnapshot]:
         """Every worker coordinator mirror, dead workers included."""
         return [self._snapshots[shard_id] for shard_id in sorted(self._snapshots)]
+
+    @property
+    def active_worker_count(self) -> int:
+        """Workers currently accepting traffic (alive and not drained)."""
+        return sum(1 for handle in self.workers.values()
+                   if handle.alive and not handle.drained)
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Parent-tracked pending requests per live worker."""
+        return {shard_id: len(self._pending[shard_id])
+                for shard_id in self._live_workers()}
+
+    def queue_ages(self, at_s: Optional[float] = None) -> List[float]:
+        """Ages (seconds) of every queued request, oldest first."""
+        reference = now() if at_s is None else float(at_s)
+        ages = [max(0.0, reference - self._records[request_id].request.submitted_s)
+                for queue in self._pending.values() for request_id in queue]
+        return sorted(ages, reverse=True)
+
+    def queued_model_names(self) -> List[str]:
+        """Distinct tenants with queued work (the autoscaler's routing grain)."""
+        return sorted({self._records[request_id].request.model_name
+                       for queue in self._pending.values()
+                       for request_id in queue})
 
     def stats(self) -> FleetStats:
         for shard_id in self._live_workers():

@@ -15,12 +15,20 @@ socket to the worker process as a ``multiprocessing.Process`` argument (the
 ``fork`` and ``spawn`` start methods).  A peer that dies — or closes its end
 on orderly shutdown — surfaces as :class:`TransportClosed` on the next send
 or receive, which is the signal the fleet's failover path keys on.
+
+Death is not the only failure mode: a peer that is alive but wedged (a stuck
+worker holding its socket open) would block ``recv`` forever, stalling every
+caller behind the channel lock.  A channel constructed with ``deadline_s``
+arms a socket timeout on every blocking operation; expiry raises
+:class:`TransportTimeout`, a *subclass* of :class:`TransportClosed`, so every
+existing failover site treats a hung peer exactly like a dead one — no new
+except-clauses anywhere on the fleet path.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.utils.serialization import canonical_bytes, decode_canonical
 
@@ -35,11 +43,36 @@ class TransportClosed(ConnectionError):
     """The peer hung up: worker death or an orderly channel shutdown."""
 
 
-class MessageChannel:
-    """Whole-message send/receive over one stream socket."""
+class TransportTimeout(TransportClosed):
+    """The peer stayed silent past the channel deadline (alive but wedged).
 
-    def __init__(self, sock: socket.socket) -> None:
+    Subclasses :class:`TransportClosed` deliberately: to a caller, a worker
+    that will never answer is indistinguishable from a dead one, and the
+    failover path must fire either way.
+    """
+
+
+class MessageChannel:
+    """Whole-message send/receive over one stream socket.
+
+    ``deadline_s`` (seconds, ``None`` = wait forever) bounds every blocking
+    socket operation; expiry raises :class:`TransportTimeout`.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 deadline_s: Optional[float] = None) -> None:
         self._sock = sock
+        self.set_deadline(deadline_s)
+
+    def set_deadline(self, deadline_s: Optional[float]) -> None:
+        """(Re-)arm the per-operation deadline on the underlying socket."""
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        self.deadline_s = deadline_s
+        try:
+            self._sock.settimeout(deadline_s)
+        except OSError:  # pragma: no cover - socket already closed
+            pass
 
     def send(self, payload: Any) -> None:
         """Encode ``payload`` with the canonical codec and write one frame."""
@@ -47,6 +80,10 @@ class MessageChannel:
         frame = len(data).to_bytes(LENGTH_BYTES, "big") + data
         try:
             self._sock.sendall(frame)
+        except socket.timeout as exc:
+            # Before OSError: socket.timeout subclasses it since 3.10.
+            raise TransportTimeout(
+                f"send exceeded the {self.deadline_s}s deadline") from exc
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
             raise TransportClosed(f"send on closed transport: {exc}") from exc
 
@@ -62,6 +99,11 @@ class MessageChannel:
         while remaining:
             try:
                 chunk = self._sock.recv(min(remaining, _RECV_CHUNK))
+            except socket.timeout as exc:
+                # Before OSError: socket.timeout subclasses it since 3.10.
+                raise TransportTimeout(
+                    f"recv exceeded the {self.deadline_s}s deadline "
+                    f"({count - remaining}/{count} bytes read)") from exc
             except (ConnectionResetError, OSError) as exc:
                 raise TransportClosed(f"recv on closed transport: {exc}") from exc
             if not chunk:
@@ -79,11 +121,15 @@ class MessageChannel:
             pass
 
 
-def channel_pair() -> Tuple[MessageChannel, socket.socket]:
+def channel_pair(
+        deadline_s: Optional[float] = None,
+) -> Tuple[MessageChannel, socket.socket]:
     """A connected (parent channel, raw child socket) pair.
 
     The child end is returned raw so it can ride in ``Process`` args; the
     worker wraps it in its own :class:`MessageChannel` after the fork/spawn.
+    ``deadline_s`` arms the hung-peer deadline on the *parent* side only —
+    a worker waiting for its next instruction should wait forever.
     """
     parent_sock, child_sock = socket.socketpair()
-    return MessageChannel(parent_sock), child_sock
+    return MessageChannel(parent_sock, deadline_s=deadline_s), child_sock

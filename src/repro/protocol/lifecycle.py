@@ -143,7 +143,15 @@ class TAOSession:
         )
         if fund_owner:
             self.coordinator.chain.fund(owner, self.initial_balance)
-        self.coordinator.register_model(self.model_commitment, owner=owner)
+        # A tenant re-homed to a worker that hosted it before (drain, then a
+        # later rebalance routing it back) re-runs setup against a
+        # coordinator that already holds the model.  Registration is
+        # idempotent for a byte-identical commitment — same guard
+        # ``TAOService.adopt_model`` applies — while a *different* model
+        # under the same name still trips the coordinator's conflict error.
+        registered = self.coordinator.models.get(self.model_commitment.model_name)
+        if registered is None or registered.digest() != self.model_commitment.digest():
+            self.coordinator.register_model(self.model_commitment, owner=owner)
 
         factory = self.committee_factory or (
             lambda i, device: CommitteeMember(f"committee-{i}", device)

@@ -9,7 +9,8 @@ chain — or, when the scenario sets ``num_shards`` > 1, to an ordinary
 chain (both implement :class:`~repro.protocol.service.ServiceCore`, so the
 drive loop is identical).  ``drain_home_at_cycle`` injects a shard failover
 between a cycle's submissions and its drain, re-dispatching the in-flight
-events across shards.  ``Scenario(pipelined=..., cycle_capacity=...)``
+events across shards; ``undrain_home_at_cycle`` returns the drained shard to
+service before a later cycle's submissions (the elastic scale-up leg).  ``Scenario(pipelined=..., cycle_capacity=...)``
 selects the drain path: the stage-pipelined drain (with small cycles so
 faulty dispute rounds genuinely overlap later cycles' execution) or the
 synchronous reference — the invariant families apply identically to both.  What comes back — coordinator statuses, dispute
@@ -166,7 +167,19 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
 
     request_ids: Dict[int, int] = {}
     honest_results: Dict[int, object] = {}
+    drained_home: Optional[str] = None
     for cycle_index, cycle in enumerate(schedule.cycles):
+        if (scenario.undrain_home_at_cycle == cycle_index
+                and drained_home is not None):
+            # Elastic scale-up leg: the shard drained earlier returns to
+            # service before this cycle's submissions, so tenants whose ring
+            # home flips back re-migrate and the new events land on the
+            # restored topology.
+            if isinstance(service, TAOCluster):
+                service.undrain_shard(drained_home)
+            elif fleet:
+                service.undrain_worker(drained_home)
+            drained_home = None
         for event in cycle:
             if fleet:
                 proposer = _proposer_spec(event, workload)
@@ -188,9 +201,11 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
             # the home shard; draining it withdraws and re-dispatches them
             # to the ring successor before they are processed.
             if isinstance(service, TAOCluster):
-                service.drain_shard(service.location(workload.graph.name))
+                drained_home = service.location(workload.graph.name)
+                service.drain_shard(drained_home)
             elif fleet and len(service.ring.live_nodes) > 1:
-                service.drain_worker(service.location(workload.graph.name))
+                drained_home = service.location(workload.graph.name)
+                service.drain_worker(drained_home)
         service.process()
 
     outcomes = [

@@ -89,6 +89,12 @@ class Scenario:
     #: requests are withdrawn and re-dispatched to the ring's next node,
     #: exercising failover under whatever faults the cycle carries.
     drain_home_at_cycle: Optional[int] = None
+    #: When set (with ``drain_home_at_cycle`` on an earlier cycle), the shard
+    #: or fleet worker drained then is returned to service *before* this
+    #: cycle's events are submitted — the elastic scale-up leg: tenants whose
+    #: ring home flips back re-migrate, and the cycle's requests land on the
+    #: restored topology.
+    undrain_home_at_cycle: Optional[int] = None
     #: When True the scenario runs against a
     #: :class:`~repro.fleet.fleet.ProcessFleet` of ``num_shards`` worker
     #: *processes* instead of the in-process service/cluster: actors travel

@@ -1,0 +1,196 @@
+"""Elastic fleet membership and the hung-worker deadline path.
+
+Satellite pins for the elastic subsystem at the process-fleet layer:
+
+* :class:`TransportTimeout` — a peer that is alive but silent past the
+  configured deadline raises a *subclass* of :class:`TransportClosed`, so
+  every existing failover site treats a wedged worker exactly like a dead
+  one (kill, ring-drain, re-home) and no settlement is lost.
+* ``add_worker`` / ``undrain_worker`` — the scale-up verbs restored to
+  parity with :class:`TAOCluster`, including ring-consistent re-migration
+  and conservation across a full add -> drain -> undrain round trip.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.fleet import ProcessFleet
+from repro.fleet.fleet import FleetError
+from repro.fleet.transport import (
+    MessageChannel,
+    TransportClosed,
+    TransportTimeout,
+    channel_pair,
+)
+from repro.graph import trace_module
+
+
+@pytest.fixture()
+def tenant_graphs(mlp_module, mlp_input_factory):
+    # Six tenants: enough digests that a second ring node always claims
+    # at least one arc (four happens to leave shard-1 empty-handed).
+    return [trace_module(mlp_module, mlp_input_factory(0), name=f"tenant_{i}")
+            for i in range(6)]
+
+
+def _register_all(fleet, graphs, thresholds):
+    for graph in graphs:
+        fleet.register_model(graph, threshold_table=thresholds)
+
+
+def _conserved(fleet) -> bool:
+    return abs(sum(fleet.chain.balances.values()) - fleet.chain.minted) < 1e-9
+
+
+class TestTransportTimeout:
+    def test_silent_peer_raises_timeout_subclass(self):
+        parent, child_sock = channel_pair(deadline_s=0.3)
+        try:
+            # Nobody ever answers on the child side.
+            with pytest.raises(TransportTimeout) as excinfo:
+                parent.recv()
+            assert isinstance(excinfo.value, TransportClosed)
+            assert "0.3" in str(excinfo.value)
+        finally:
+            parent.close()
+            child_sock.close()
+
+    def test_deadline_must_be_positive(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ValueError):
+                MessageChannel(left, deadline_s=0.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_worker_side_channel_has_no_deadline(self):
+        parent, child_sock = channel_pair(deadline_s=1.0)
+        try:
+            assert parent.deadline_s == 1.0
+            assert child_sock.gettimeout() is None
+        finally:
+            parent.close()
+            child_sock.close()
+
+    def test_responsive_peer_is_unaffected(self):
+        parent, child_sock = channel_pair(deadline_s=2.0)
+        child = MessageChannel(child_sock)
+
+        def _echo_once():
+            child.send(child.recv())
+
+        import threading
+        thread = threading.Thread(target=_echo_once, daemon=True)
+        thread.start()
+        try:
+            parent.send({"ping": 1})
+            assert parent.recv() == {"ping": 1}
+        finally:
+            thread.join(timeout=5.0)
+            parent.close()
+            child.close()
+
+
+class TestScaleUpParity:
+    def test_add_worker_rebalances_on_the_ring(self, tenant_graphs,
+                                               mlp_thresholds):
+        fleet = ProcessFleet(num_workers=1)
+        try:
+            _register_all(fleet, tenant_graphs, mlp_thresholds)
+            new_id = fleet.add_worker()
+            assert new_id == "shard-1"
+            assert fleet.active_worker_count == 2
+            moved = 0
+            for name in fleet.model_names:
+                record = fleet._models[name]
+                assert fleet.ring.node_for(record.key) == record.shard_id
+                moved += record.shard_id == new_id
+            assert moved >= 1, "the ring must hand the new worker tenants"
+        finally:
+            fleet.close()
+
+    def test_add_worker_rejects_duplicate_and_closed(self, tenant_graphs,
+                                                     mlp_thresholds):
+        fleet = ProcessFleet(num_workers=1)
+        try:
+            with pytest.raises(FleetError):
+                fleet.add_worker("shard-0")
+        finally:
+            fleet.close()
+        with pytest.raises(FleetError):
+            fleet.add_worker()
+
+    def test_undrain_worker_restores_service(self, tenant_graphs,
+                                             mlp_thresholds,
+                                             mlp_input_factory):
+        fleet = ProcessFleet(num_workers=1)
+        try:
+            _register_all(fleet, tenant_graphs, mlp_thresholds)
+            new_id = fleet.add_worker()
+            for index, graph in enumerate(tenant_graphs):
+                fleet.submit(graph.name, mlp_input_factory(200 + index))
+            # Drain sends the new worker's tenants *back* to their former
+            # host — the re-registration leg must be idempotent on the
+            # worker's coordinator (same commitment digest).
+            fleet.drain_worker(new_id)
+            assert fleet.active_worker_count == 1
+            fleet.undrain_worker(new_id)
+            assert fleet.active_worker_count == 2
+            for name in fleet.model_names:
+                record = fleet._models[name]
+                assert fleet.ring.node_for(record.key) == record.shard_id
+            results = fleet.process()
+            assert len(results) == len(tenant_graphs)
+            assert _conserved(fleet)
+        finally:
+            fleet.close()
+
+    def test_undrain_worker_error_cases(self, tenant_graphs, mlp_thresholds):
+        fleet = ProcessFleet(num_workers=2)
+        try:
+            with pytest.raises(FleetError):
+                fleet.undrain_worker("shard-0")  # not drained
+            with pytest.raises(FleetError):
+                fleet.undrain_worker("shard-9")  # unknown
+        finally:
+            fleet.close()
+
+
+class TestHungWorkerFailover:
+    def test_wedged_worker_is_killed_and_failed_over(self, tenant_graphs,
+                                                     mlp_thresholds,
+                                                     mlp_input_factory):
+        if multiprocessing.get_start_method() not in ("fork", "forkserver"):
+            pytest.skip("SIGSTOP pin relies on POSIX process control")
+        fleet = ProcessFleet(num_workers=2, worker_timeout_s=2.0)
+        try:
+            _register_all(fleet, tenant_graphs, mlp_thresholds)
+            victim_tenant = next(
+                name for name in fleet.model_names
+                if fleet.location(name) == "shard-1")
+            proc = fleet.workers["shard-1"].process
+            os.kill(proc.pid, signal.SIGSTOP)
+            # The submit hits the 2 s deadline, and the fleet treats the
+            # wedged worker like a dead one: kill, ring-drain, re-home,
+            # then the submit is retried on the new home.
+            request_id = fleet.submit(victim_tenant, mlp_input_factory(7))
+            assert not fleet.workers["shard-1"].alive
+            assert fleet.ring.is_drained("shard-1")
+            assert fleet.failovers >= 1
+            assert fleet.location(victim_tenant) == "shard-0"
+            results = fleet.process()
+            assert [r.request_id for r in results] == [request_id]
+            assert results[0].status is not None
+            time.sleep(0.2)
+            assert not proc.is_alive(), "wedged worker must be killed"
+            assert _conserved(fleet)
+        finally:
+            fleet.close()

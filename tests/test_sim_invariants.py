@@ -65,8 +65,8 @@ RUN_STATS = {
     "completed_sweeps": set(),
 }
 
-CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "pipelined", "committee"} \
-    | set(ZOO_WORKLOADS)
+CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "pipelined", "committee",
+                   "elastic"} | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -232,6 +232,40 @@ def test_randomized_fleet_scenarios_uphold_all_invariants(sim_mlp_workload):
             failovers_exercised += 1
     assert failovers_exercised == 3
     RUN_STATS["completed_sweeps"].add("fleet")
+
+
+def test_randomized_elastic_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """8 seeded drain -> undrain scenarios, faults included.
+
+    The elastic membership cycle under the full invariant battery: the
+    model's home is drained mid-run (queued events withdrawn and
+    re-dispatched to the ring successor) and *returned to service* a cycle
+    later, so the undrain rebalance re-migrates tenants back onto the
+    restored topology while faulty actors from the interregnum are still
+    settling.  Two of the eight scenarios run the same choreography against
+    real worker processes.
+    """
+    for seed in range(8):
+        drain = seed % 2
+        scenario = Scenario(
+            name=f"elastic-{seed}",
+            seed=5200 + seed,
+            model="tiny_mlp",
+            num_requests=6 + seed % 3,
+            burst="front",
+            n_way=2 + (seed % 2),
+            leaf_path=LEAF_PATHS[seed % 3],
+            strict_localization=True,
+            num_shards=2 + seed % 2,
+            drain_home_at_cycle=drain,
+            undrain_home_at_cycle=drain + 1,
+            process_fleet=(seed % 4 == 3),
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        assert result.service.failovers >= 1
+    RUN_STATS["completed_sweeps"].add("elastic")
 
 
 def test_fleet_matches_in_process_reference_on_campaign_template(
