@@ -1,0 +1,144 @@
+"""Small-scope model check of the protocol state machine, with conformance.
+
+The exhaustive explorer (:mod:`repro.spec.explorer`) enumerates every
+reachable interleaving of protocol events for a menu of small scopes — the
+invariants the adversarial simulator only samples (S1–S3, conservation,
+liveness/termination) are checked at *every* explored state, and every
+enumerated per-task trace is then replayed move-for-move against a live
+``TAOService`` coordinator with bit-exact settlement assertions.
+
+The emitted table (``benchmarks/results/spec_model_check.md``) is the
+artifact CI uploads: explored-state counts per scope (the acceptance bar is
+>= 10,000 states total with zero violations) and the conformance replay
+tallies (every trace must replay clean).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.calibration import CalibrationConfig, Calibrator, ThresholdTable
+from repro.graph import Module, Parameter, trace_module
+from repro.graph import functional as F
+from repro.protocol.service import TAOService
+from repro.spec import SpecScope, conformance_replay, count_traces, explore
+from repro.tensorlib import DEVICE_FLEET
+
+from benchmarks.reporting import emit_table
+
+#: The paired-down behaviour menu for the 3-tenant scope: the full 6-profile
+#: menu is exhausted at 2 tenants; 3 tenants sweep the interesting cross
+#: products (cheat vs honest watch, honest unwatched, stale vs fraud proof).
+RESTRICTED_PROFILES = (
+    ("tamper", "honest"),
+    ("honest", "none"),
+    ("stale", "honest"),
+)
+
+#: Every scope the model check exhausts.  ``conformance`` marks the scopes
+#: whose per-task traces are replayed against the real coordinator (the
+#: replay service's bisection arity must match the scope's).
+SCOPES = (
+    (SpecScope(tenants=2, num_operators=7, n_way=2), True),
+    (SpecScope(tenants=2, num_operators=7, n_way=3), True),
+    (SpecScope(tenants=3, num_operators=7, n_way=2,
+               profiles=RESTRICTED_PROFILES), False),
+)
+
+STATE_BAR = 10_000
+
+
+class _BenchMLP(Module):
+    """The 7-operator reference model (the tests' tiny MLP, re-declared here
+    so the benchmark harness stays independent of the test fixtures)."""
+
+    def __init__(self, d_in: int = 32, d_hidden: int = 48, d_out: int = 6,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.ln_w = Parameter(np.ones(d_in))
+        self.ln_b = Parameter(np.zeros(d_in))
+        self.w1 = Parameter(rng.standard_normal((d_hidden, d_in)) * 0.2)
+        self.b1 = Parameter(np.zeros(d_hidden))
+        self.w2 = Parameter(rng.standard_normal((d_hidden, d_hidden)) * 0.2)
+        self.b2 = Parameter(np.zeros(d_hidden))
+        self.w3 = Parameter(rng.standard_normal((d_out, d_hidden)) * 0.2)
+        self.b3 = Parameter(np.zeros(d_out))
+
+    def forward(self, x):
+        x = F.layer_norm(x, self.ln_w, self.ln_b)
+        h = F.gelu(F.linear(x, self.w1, self.b1))
+        h = F.relu(F.linear(h, self.w2, self.b2))
+        logits = F.linear(h, self.w3, self.b3)
+        return F.softmax(logits, axis=-1)
+
+
+def _inputs(seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal((4, 32)).astype(np.float32)}
+
+
+def _conformance_service(graph, thresholds, n_way: int) -> TAOService:
+    service = TAOService(n_way=n_way)
+    service.register_model(graph, threshold_table=thresholds)
+    return service
+
+
+def test_spec_model_check_meets_acceptance_bar():
+    graph = trace_module(_BenchMLP(), _inputs(0), name="spec_bench_mlp")
+    calibration = Calibrator(CalibrationConfig(devices=DEVICE_FLEET)).calibrate(
+        graph, [_inputs(1000 + i) for i in range(6)])
+    thresholds = ThresholdTable.from_calibration(calibration, alpha=3.0)
+
+    rows: List[List[object]] = []
+    total_states = total_transitions = 0
+    total_traces = total_events = 0
+    for scope, conformance in SCOPES:
+        start = time.perf_counter()
+        result = explore(scope)
+        explore_s = time.perf_counter() - start
+        assert result.ok, result.violations[:5]
+        total_states += result.states_explored
+        total_transitions += result.transitions_explored
+
+        traces = events = 0
+        verdict = "spec only"
+        if conformance:
+            service = _conformance_service(graph, thresholds, scope.n_way)
+            report = conformance_replay(service, graph.name, scope)
+            assert report.ok, report.mismatches[:5]
+            traces, events = report.traces_replayed, report.events_replayed
+            assert traces == count_traces(scope)
+            total_traces += traces
+            total_events += events
+            verdict = "replayed clean"
+        rows.append([
+            scope.describe(), result.states_explored,
+            result.transitions_explored, result.terminal_global_states,
+            len(result.violations), f"{explore_s:.2f}", traces, events,
+            verdict,
+        ])
+
+    assert total_states >= STATE_BAR, total_states
+    assert total_traces >= 100
+    rows.append(["TOTAL", total_states, total_transitions, "-", 0, "-",
+                 total_traces, total_events, "-"])
+
+    emit_table(
+        "spec_model_check",
+        "Small-scope exhaustive model check + conformance replay",
+        ["scope", "states", "transitions", "terminal", "violations",
+         "explore (s)", "traces replayed", "events replayed", "conformance"],
+        rows,
+        notes=(f"Acceptance bar: >= {STATE_BAR:,} explored states, zero "
+               "invariant violations, every enumerated per-task trace "
+               "replayed against the real TAOService coordinator with "
+               "bit-exact settlement. Invariants checked at every state: "
+               "S1 (terminal = no successors), S2 (dispute escrow covers "
+               "fee + both bonds), S3 (slash splits the bond exactly), "
+               "conservation (per-state deltas sum to zero), and a strictly "
+               "decreasing progress measure (termination)."),
+    )

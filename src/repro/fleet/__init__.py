@@ -24,6 +24,7 @@ from repro.fleet.fleet import (
     WorkerError,
     WorkerHandle,
 )
+from repro.fleet.journal import JournalDivergence, ShardJournal
 from repro.fleet.transport import (
     MessageChannel,
     TransportClosed,
@@ -37,8 +38,10 @@ __all__ = [
     "FleetError",
     "FleetModel",
     "FleetStats",
+    "JournalDivergence",
     "MessageChannel",
     "ProcessFleet",
+    "ShardJournal",
     "TransportClosed",
     "TransportTimeout",
     "WorkerError",

@@ -43,17 +43,31 @@ class ChainClient:
         self.timestamp = 0.0
         self.gas_schedule = GasSchedule()
         self._transactions: List[Transaction] = []
+        #: Per-incarnation sequence id stamped on every chain call.  A
+        #: worker restarted from its journal re-issues the same
+        #: deterministic call stream from seq 1; the parent answers ids at
+        #: or below its journal tail from the journal instead of
+        #: re-applying them — at-most-once for every ledger mutation.
+        self._seq = 0
 
     # -- per-shard protocol time (the chain's own rules, on this clock) ----
 
     advance_blocks = SimulatedChain.advance_blocks
     advance_time = SimulatedChain.advance_time
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence id the next chain call will carry.  Journal entries are
+        stamped with it so a replayed worker's re-emitted write-ahead
+        records land at the same position and dedupe exactly."""
+        return self._seq + 1
+
     # -- RPC plumbing ------------------------------------------------------
 
     def _call(self, method: str, **kwargs: Any) -> Any:
+        self._seq += 1
         self._channel.send({"kind": "chain_call", "method": method,
-                            "args": kwargs})
+                            "args": kwargs, "seq": self._seq})
         reply = self._channel.recv()
         if not reply.get("ok"):
             message = str(reply.get("error", "chain call failed"))

@@ -51,6 +51,7 @@ from repro.fleet.transport import (
     TransportTimeout,
     channel_pair,
 )
+from repro.fleet.journal import JournalDivergence, ShardJournal
 from repro.fleet.wire import graph_to_payload, stats_from_payload
 from repro.fleet.worker import worker_main
 from repro.graph.graph import GraphModule
@@ -73,6 +74,10 @@ class FleetError(RuntimeError):
 
 class WorkerError(RuntimeError):
     """An error raised inside a worker process, re-surfaced by the parent."""
+
+
+class _UnknownChainMethod(RuntimeError):
+    """Internal: a chain_call named a method the parent does not serve."""
 
 
 # ----------------------------------------------------------------------
@@ -249,9 +254,13 @@ class ProcessFleet(ServiceCore):
         actor_module: str = "repro.fleet.actors",
         start_method: Optional[str] = None,
         worker_timeout_s: Optional[float] = None,
+        recovery: str = "failover",
     ) -> None:
         if num_workers < 1:
             raise ValueError("a fleet needs at least one worker")
+        if recovery not in ("failover", "journal"):
+            raise ValueError(
+                f"recovery must be 'failover' or 'journal', not {recovery!r}")
         self.chain = chain or SimulatedChain()
         self.devices = tuple(devices)
         self.alpha = float(alpha)
@@ -290,10 +299,32 @@ class ProcessFleet(ServiceCore):
         self.measured_wall_s = 0.0
         self.failovers = 0
         self.redispatched_requests = 0
+        #: Dead-worker policy: ``"failover"`` re-homes tenants on ring
+        #: successors (in-flight disputes are forfeited and reported in
+        #: :attr:`forfeited_disputes`); ``"journal"`` restarts the worker in
+        #: place and replays its write-ahead journal, resuming in-flight
+        #: disputes to byte-identical verdicts.
+        self.recovery = recovery
+        #: Per-shard write-ahead journals (parent-held; they survive the
+        #: worker's crash domain by construction).
+        self.journals: Dict[str, ShardJournal] = {}
+        #: Workers restarted-and-replayed from their journal.
+        self.recoveries = 0
+        #: Disputes that were in flight on a worker at failover time, per
+        #: its spec journal: ``{"shard_id", "task", "state"}`` rows.  The
+        #: failover path forfeits them (the replacement worker re-executes
+        #: the requests from scratch); journal recovery resumes them.
+        self.forfeited_disputes: List[Dict[str, Any]] = []
+        #: Shards currently replaying their journal: command/spec recording
+        #: is suppressed for them (the journal already holds this prefix).
+        self._replaying: set = set()
         #: Test hook: called as ``hook(shard_id, message)`` before the parent
         #: applies each nested chain call (the worker-death tests kill a
         #: worker here, mid-drain, deterministically).
         self._chain_call_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        #: Test hook: called after a chain call is applied and journaled but
+        #: before its reply is sent — the post-chain/pre-ack crash boundary.
+        self._chain_reply_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None
         for index in range(int(num_workers)):
             self._spawn(f"shard-{index}")
 
@@ -315,6 +346,7 @@ class ProcessFleet(ServiceCore):
         self.workers[shard_id] = handle
         self._snapshots[shard_id] = CoordinatorSnapshot(shard_id)
         self._pending[shard_id] = []
+        self.journals[shard_id] = ShardJournal(shard_id)
         self.ring.add_node(shard_id)
         self._call(handle, {
             "shard_id": shard_id,
@@ -338,10 +370,32 @@ class ProcessFleet(ServiceCore):
     # RPC with nested chain settlement
     # ------------------------------------------------------------------
 
+    #: Ops always journaled on completion: they mutate worker state a
+    #: recovered incarnation must rebuild.
+    _JOURNALED_OPS = frozenset({"register", "submit", "process", "withdraw",
+                                "detach"})
+
+    def _should_journal(self, payload: Dict[str, Any],
+                        chain_frames: int) -> bool:
+        """Whether a completed command belongs in the write-ahead journal.
+
+        Beyond the state-mutating ops, *any* op that issued chain calls must
+        be journaled — replay re-issues the worker's chain-call stream with
+        per-incarnation sequence ids, so skipping a chain-touching command
+        would desynchronize the ids from the journal tail.
+        """
+        op = payload.get("op")
+        if op is None or op == "shutdown":
+            return False
+        return op in self._JOURNALED_OPS or chain_frames > 0
+
     def _call(self, handle: WorkerHandle, payload: Dict[str, Any]) -> Any:
         """One request/response conversation, serving nested chain calls."""
         if not handle.alive:
             raise FleetError(f"worker {handle.shard_id!r} is dead")
+        journal = (None if handle.shard_id in self._replaying
+                   else self.journals.get(handle.shard_id))
+        chain_frames = 0
         try:
             with handle.lock:
                 handle.channel.send(payload)
@@ -351,10 +405,31 @@ class ProcessFleet(ServiceCore):
                     if kind == "chain_call":
                         if self._chain_call_hook is not None:
                             self._chain_call_hook(handle.shard_id, message)
-                        handle.channel.send(self._serve_chain_call(message))
+                        chain_frames += 1
+                        reply = self._serve_chain_call(handle.shard_id,
+                                                       message)
+                        if self._chain_reply_hook is not None:
+                            self._chain_reply_hook(handle.shard_id, message)
+                        handle.channel.send(reply)
+                    elif kind == "journal":
+                        # One-way write-ahead frame: FIFO ordering means it
+                        # lands before any chain mutation it covers.
+                        if journal is not None:
+                            journal.record_spec(message.get("entry", {}))
                     elif kind == "response":
                         if message.get("ok"):
-                            return message.get("value")
+                            value = message.get("value")
+                            if journal is not None and \
+                                    self._should_journal(payload, chain_frames):
+                                journal.record_command(payload, True, value)
+                            return value
+                        if journal is not None and \
+                                self._should_journal(payload, chain_frames):
+                            # Failed commands that touched the chain are
+                            # journaled too (with their error), keeping the
+                            # replayed sequence-id stream aligned.
+                            journal.record_command(payload, False,
+                                                   message.get("error"))
                         raise WorkerError(
                             f"[{handle.shard_id}] {message.get('error')}")
                     else:
@@ -365,7 +440,16 @@ class ProcessFleet(ServiceCore):
             self._mark_dead(handle)
             raise
 
-    def _serve_chain_call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _serve_chain_call(self, shard_id: str,
+                          message: Dict[str, Any]) -> Dict[str, Any]:
+        journal = self.journals.get(shard_id)
+        seq = message.get("seq")
+        if journal is not None and seq is not None:
+            recorded = journal.chain_reply(seq, message)
+            if recorded is not None:
+                # Replay duplicate: answer from the journal, do not
+                # re-apply — at-most-once for every ledger mutation.
+                return recorded
         method = message.get("method")
         args = message.get("args", {})
         try:
@@ -391,13 +475,18 @@ class ProcessFleet(ServiceCore):
                 )
                 value = {"gas_used": int(tx.gas_used), "index": int(tx.index)}
             else:
-                return {"kind": "chain_reply", "ok": False,
-                        "error_type": "RuntimeError",
-                        "error": f"unknown chain method {method!r}"}
+                raise _UnknownChainMethod(f"unknown chain method {method!r}")
+        except _UnknownChainMethod as exc:
+            reply = {"kind": "chain_reply", "ok": False,
+                     "error_type": "RuntimeError", "error": str(exc)}
         except ValueError as exc:
-            return {"kind": "chain_reply", "ok": False,
-                    "error_type": "ValueError", "error": str(exc)}
-        return {"kind": "chain_reply", "ok": True, "value": value}
+            reply = {"kind": "chain_reply", "ok": False,
+                     "error_type": "ValueError", "error": str(exc)}
+        else:
+            reply = {"kind": "chain_reply", "ok": True, "value": value}
+        if journal is not None and seq is not None:
+            journal.record_chain(seq, message, reply)
+        return reply
 
     def _mark_dead(self, handle: WorkerHandle) -> None:
         if not handle.alive:
@@ -540,9 +629,13 @@ class ProcessFleet(ServiceCore):
                                       payload)["local_id"])
         except TransportClosed:
             # The home worker died — or wedged past its deadline — under our
-            # feet.  It is already marked dead and ring-drained; re-home its
-            # tenants (and queue) and retry once on the new home.
-            self._fail_over_worker(record.shard_id)
+            # feet.  It is already marked dead and ring-drained; either
+            # restart it in place from its journal or re-home its tenants
+            # (and queue), then retry once.
+            if self.recovery == "journal":
+                self._recover_worker(record.shard_id)
+            else:
+                self._fail_over_worker(record.shard_id)
             local_id = int(self._call(self._handle(record.shard_id),
                                       payload)["local_id"])
         request_id = len(self._records)
@@ -617,11 +710,15 @@ class ProcessFleet(ServiceCore):
                     processed.extend(self._apply_process_response(shard_id, value))
 
         for shard_id in died:
-            self._fail_over_worker(shard_id)
+            if self.recovery == "journal":
+                self._recover_worker(shard_id)
+            else:
+                self._fail_over_worker(shard_id)
         if died and self.pending_count:
-            # Re-dispatched requests are queued on ring successors; finish
-            # the drain there so the caller still gets every admitted
-            # request back in terminal state.
+            # Failover queues re-dispatched requests on ring successors;
+            # journal recovery leaves them queued on the restarted worker.
+            # Either way, finish the drain so the caller still gets every
+            # admitted request back in terminal state.
             processed.extend(self._process_round(max_requests))
         return processed
 
@@ -815,6 +912,73 @@ class ProcessFleet(ServiceCore):
             clones = model.challenger_clones
         self._place_model(model, target_id, withdrawn, clones)
 
+    def _recover_worker(self, shard_id: str) -> None:
+        """Restart a dead worker in place and replay its write-ahead journal.
+
+        The replacement process keeps the shard's identity: ring placement,
+        coordinator snapshot, pending queue and request records all survive
+        untouched.  Replaying the journaled command stream rebuilds the
+        worker's entire in-memory stack deterministically; its re-issued
+        chain calls carry per-incarnation sequence ids that dedupe against
+        the journal tail, so every pre-crash ledger mutation is applied
+        exactly once and the recovered run stays byte-identical to an
+        uncrashed one.  The command that was in flight at the crash is not
+        replayed here — its caller retries it, and the dedupe makes the
+        retry exact (in-flight disputes resume mid-round rather than being
+        forfeited).
+        """
+        journal = self.journals.get(shard_id)
+        if journal is None:
+            raise FleetError(
+                f"worker {shard_id!r} has no journal to recover from")
+        old = self.workers[shard_id]
+        if old.process.is_alive():  # pragma: no cover - raced SIGKILL
+            old.process.kill()
+            old.process.join(timeout=5.0)
+        parent_channel, child_sock = channel_pair(
+            deadline_s=self.worker_timeout_s)
+        process = self._context.Process(
+            target=worker_main, args=(child_sock,),
+            name=f"fleet-{shard_id}", daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        handle = WorkerHandle(shard_id=shard_id, process=process,
+                              channel=parent_channel)
+        self.workers[shard_id] = handle
+        self._replaying.add(shard_id)
+        try:
+            self._call(handle, {
+                "shard_id": shard_id,
+                "block_interval_s": self.chain.block_interval_s,
+                "service": dict(self._service_knobs),
+                "actor_module": self.actor_module,
+            })
+            for entry in journal.commands():
+                payload = entry["payload"]
+                try:
+                    value = self._call(handle, payload)
+                except WorkerError:
+                    if entry["ok"]:
+                        raise JournalDivergence(
+                            f"[{shard_id}] journaled {payload.get('op')!r} "
+                            f"command failed on replay") from None
+                    continue  # the journaled run failed here too
+                if entry["ok"] and payload.get("op") == "submit":
+                    recorded = int(entry["value"]["local_id"])
+                    if int(value["local_id"]) != recorded:
+                        raise JournalDivergence(
+                            f"[{shard_id}] replayed submit produced local id "
+                            f"{value['local_id']}, journal says {recorded}")
+        finally:
+            self._replaying.discard(shard_id)
+        # _mark_dead drained the ring on death; restore the pre-crash
+        # placement (an administratively drained worker stays drained).
+        if self.ring.is_drained(shard_id) and not old.drained:
+            self.ring.undrain(shard_id)
+        handle.drained = old.drained
+        self.recoveries += 1
+
     def _fail_over_worker(self, shard_id: str) -> None:
         """Re-home a dead worker's tenants and queue on ring successors.
 
@@ -824,7 +988,23 @@ class ProcessFleet(ServiceCore):
         must not create money) and the parent's own pending queue is
         re-submitted.  Work the worker settled partially before dying stays
         settled — transfers conserve value, so the ledger still balances.
+        Disputes that were in flight are forfeited: the replacement worker
+        re-executes their requests from scratch.  The spec journal names
+        them exactly (:attr:`forfeited_disputes`).
         """
+        journal = self.journals.get(shard_id)
+        if journal is not None:
+            try:
+                from repro.spec.machine import validate_journal
+                summary = validate_journal(journal.spec_entries())
+            except Exception:  # noqa: BLE001 - forfeit report is best-effort
+                pass
+            else:
+                for task, state in sorted(summary.in_flight_tasks.items()):
+                    if state == "pending":
+                        continue  # not in a dispute; re-execution is routine
+                    self.forfeited_disputes.append(
+                        {"shard_id": shard_id, "task": task, "state": state})
         queued = list(self._pending[shard_id])
         self._pending[shard_id] = []
         for name in self.model_names:
@@ -891,6 +1071,19 @@ class ProcessFleet(ServiceCore):
     def coordinators(self) -> List[CoordinatorSnapshot]:
         """Every worker coordinator mirror, dead workers included."""
         return [self._snapshots[shard_id] for shard_id in sorted(self._snapshots)]
+
+    def journal_for(self, shard_id: str) -> ShardJournal:
+        """The write-ahead journal of one shard (dead workers included)."""
+        try:
+            return self.journals[shard_id]
+        except KeyError:
+            raise FleetError(f"unknown worker {shard_id!r}") from None
+
+    def spec_journals(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Per-shard decoded ``(state, event)`` journals, for invariant
+        checks against the executable spec (``repro.spec.machine``)."""
+        return {shard_id: journal.spec_entries()
+                for shard_id, journal in sorted(self.journals.items())}
 
     @property
     def active_worker_count(self) -> int:

@@ -126,12 +126,28 @@ class _WorkerState:
         self.chain = ChainClient(channel, hello["shard_id"],
                                  block_interval_s=hello.get("block_interval_s", 12.0))
         self.coordinator = Coordinator(chain=self.chain)
+        # Write-ahead journal: ship every (state, event) transition record
+        # to the parent as a one-way frame.  The coordinator emits it before
+        # the transition's first chain call, and the channel is FIFO, so the
+        # parent always journals the transition before applying any of its
+        # chain mutations.
+        self.coordinator.journal = self._emit_journal
         knobs = {key: hello["service"][key]
                  for key in _SERVICE_KNOBS if key in hello["service"]}
         if knobs.get("cycle_capacity") is not None:
             knobs["cycle_capacity"] = int(knobs["cycle_capacity"])
         self.service = TAOService(coordinator=self.coordinator, **knobs)
         self.actors = importlib.import_module(hello["actor_module"])
+
+    def _emit_journal(self, entry: Dict[str, Any]) -> None:
+        # Stamp the transition with the sequence id of its first upcoming
+        # chain call.  A recovered worker re-traverses the interrupted
+        # command deterministically and re-emits the same records with the
+        # same stamps, so the parent journal can drop the duplicates while
+        # still catching any divergence.
+        entry = dict(entry)
+        entry["chain_seq"] = self.chain.next_seq
+        self.channel.send({"kind": "journal", "entry": entry})
 
     # -- op handlers -----------------------------------------------------
 

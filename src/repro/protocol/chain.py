@@ -141,7 +141,11 @@ class SimulatedChain:
         if amount < 0:
             raise ValueError("cannot transfer a negative amount")
         with self._lock:
-            if self.balances.get(source, 0.0) < amount - 1e-12:
+            # Exact check, no epsilon slack: every equivalence pin in the
+            # repo claims bit-exact balance/minted equality, and protocol
+            # amounts (fees, bonds, reward splits) are all exactly
+            # representable, so a shortfall of any size is a real overdraw.
+            if self.balances.get(source, 0.0) < amount:
                 raise ValueError(
                     f"insufficient balance: {source} has {self.balances.get(source, 0.0)}, "
                     f"needs {amount}"

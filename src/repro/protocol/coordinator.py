@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.merkle.commitments import ExecutionCommitment, ModelCommitment
 from repro.protocol.chain import SimulatedChain
@@ -38,6 +38,15 @@ class DisputePhase(str, Enum):
     AWAIT_SELECTION = "await_selection"
     AWAIT_ADJUDICATION = "await_adjudication"
     RESOLVED = "resolved"
+
+
+#: Spec-state names (``repro.spec.machine``) for the open dispute phases,
+#: used by the write-ahead journal entries.
+_PHASE_SPEC_STATE = {
+    DisputePhase.AWAIT_PARTITION: "dispute_partition",
+    DisputePhase.AWAIT_SELECTION: "dispute_selection",
+    DisputePhase.AWAIT_ADJUDICATION: "dispute_adjudication",
+}
 
 
 @dataclass
@@ -124,6 +133,17 @@ class Coordinator:
         self.disputes: Dict[int, DisputeRecord] = {}
         self._escrow_account = "coordinator-escrow"
         self._burn_account = "coordinator-burn"
+        #: Optional write-ahead journal sink.  When set, every state
+        #: transition emits a ``(state, event)`` record — matching the
+        #: executable spec in ``repro.spec.machine`` — *before* the first
+        #: chain mutation of that transition, so a journal replayed after a
+        #: crash always covers at least as much protocol progress as the
+        #: chain recorded.  Shard workers point this at their RPC channel.
+        self.journal: Optional[Callable[[Dict[str, object]], None]] = None
+
+    def _journal_entry(self, **entry: object) -> None:
+        if self.journal is not None:
+            self.journal(dict(entry))
 
     # ------------------------------------------------------------------
     # Phase 0: model registration
@@ -132,6 +152,7 @@ class Coordinator:
     def register_model(self, commitment: ModelCommitment, owner: str) -> None:
         if commitment.model_name in self.models:
             raise CoordinatorError(f"model {commitment.model_name!r} already registered")
+        self._journal_entry(event="register", model=commitment.model_name)
         self.models[commitment.model_name] = commitment.public_view()
         self.chain.submit(
             owner, "register_model",
@@ -162,6 +183,8 @@ class Coordinator:
     ) -> TaskRecord:
         self.model(model_name)
         bond = self.default_proposer_bond if proposer_bond is None else float(proposer_bond)
+        self._journal_entry(event="submit", task=len(self.tasks),
+                            state="queued", next="pending")
         self.chain.transfer(user, self._escrow_account, float(fee))
         self.chain.transfer(proposer, self._escrow_account, bond)
         task = TaskRecord(
@@ -197,6 +220,8 @@ class Coordinator:
             return task.status is TaskStatus.FINALIZED
         if self.chain.timestamp < task.challenge_deadline:
             return False
+        self._journal_entry(event="finalize", task=task_id,
+                            state="pending", next="finalized")
         task.status = TaskStatus.FINALIZED
         self.chain.transfer(self._escrow_account, task.proposer, task.fee + task.proposer_bond)
         self.chain.submit(caller, "finalize", payload_bytes=8,
@@ -217,8 +242,12 @@ class Coordinator:
         if self.chain.timestamp >= task.challenge_deadline:
             raise CoordinatorError(f"challenge window for task {task_id} has closed")
         bond = self.default_challenger_bond if challenger_bond is None else float(challenger_bond)
-        self.chain.transfer(challenger, self._escrow_account, bond)
         num_operators = self.model(task.model_name).num_operators
+        self._journal_entry(
+            event="challenge", task=task_id, state="pending",
+            next="dispute_adjudication" if num_operators <= 1
+            else "dispute_partition")
+        self.chain.transfer(challenger, self._escrow_account, bond)
         dispute = DisputeRecord(
             dispute_id=len(self.disputes),
             task_id=task_id,
@@ -266,6 +295,8 @@ class Coordinator:
         for prev, nxt in zip(entries, entries[1:]):
             if prev.slice_end != nxt.slice_start:
                 raise CoordinatorError("partition children must be contiguous and disjoint")
+        self._journal_entry(event="partition", task=dispute.task_id,
+                            state="dispute_partition", next="dispute_selection")
         dispute.partitions.append(list(entries))
         dispute.phase = DisputePhase.AWAIT_SELECTION
         dispute.last_action_at = self.chain.timestamp
@@ -287,6 +318,11 @@ class Coordinator:
         if not 0 <= child_index < len(children):
             raise CoordinatorError(f"selected child {child_index} out of range")
         chosen = children[child_index]
+        self._journal_entry(
+            event="select", task=dispute.task_id, state="dispute_selection",
+            next="dispute_adjudication"
+            if chosen.slice_end - chosen.slice_start <= 1
+            else "dispute_partition")
         dispute.selections.append(int(child_index))
         dispute.current_start = chosen.slice_start
         dispute.current_end = chosen.slice_end
@@ -311,9 +347,15 @@ class Coordinator:
         task = self.task(dispute.task_id)
         if dispute.phase is DisputePhase.AWAIT_PARTITION:
             loser = task.proposer
+            self._journal_entry(event="timeout", task=dispute.task_id,
+                                state="dispute_partition",
+                                next="proposer_slashed")
             self._resolve(dispute, task, proposer_cheated=True, path="timeout")
         else:
             loser = dispute.challenger
+            self._journal_entry(event="timeout", task=dispute.task_id,
+                                state=_PHASE_SPEC_STATE[dispute.phase],
+                                next="challenger_slashed")
             self._resolve(dispute, task, proposer_cheated=False, path="timeout")
         self.chain.submit(caller, "slash", payload_bytes=8,
                           details={"dispute_id": dispute_id, "timeout_loser": loser})
@@ -337,6 +379,9 @@ class Coordinator:
                 "only the dispute's challenger may post an input-binding proof"
             )
         task = self.task(dispute.task_id)
+        self._journal_entry(event="input_fraud", task=task.task_id,
+                            state=_PHASE_SPEC_STATE[dispute.phase],
+                            next="proposer_slashed")
         self.chain.submit(
             challenger, "prove_input_binding", payload_bytes=32 * 2 + 8,
             merkle_checks=1,
@@ -354,6 +399,11 @@ class Coordinator:
         if dispute.phase is not DisputePhase.AWAIT_ADJUDICATION:
             raise CoordinatorError(f"dispute {dispute_id} is not awaiting adjudication")
         task = self.task(dispute.task_id)
+        self._journal_entry(
+            event="adjudicate", task=task.task_id,
+            state="dispute_adjudication",
+            next="proposer_slashed" if proposer_cheated
+            else "challenger_slashed")
         dispute.adjudication_path = path
         dispute.adjudication_details = dict(details or {})
         self.chain.submit(

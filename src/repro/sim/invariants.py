@@ -27,6 +27,12 @@ Three invariant families, checked after every scenario:
     multiplexing — dispute-tagged gas plus untagged gas equals total gas.
   * C3 — no account balance is negative.
 
+**Journal** (fleet scenarios only)
+  * J1 — every shard's write-ahead journal is a well-formed run of the
+    protocol state machine (:func:`repro.spec.machine.validate_journal`):
+    each recorded ``(state, event)`` extends its task's transition chain,
+    and after the final drain every journaled task is terminal.
+
 The checker is deliberately *conditional*: each assertion states the actor
 assumptions under which the paper claims it (e.g. S3 assumes one honest
 challenger and an honest-majority committee), and the scenario schedule
@@ -123,6 +129,7 @@ def check_invariants(result: "SimulationResult") -> List[InvariantViolation]:
     violations.extend(_check_safety(result))
     violations.extend(_check_liveness(result))
     violations.extend(_check_conservation(result))
+    violations.extend(_check_journal(result))
     return violations
 
 
@@ -269,6 +276,41 @@ def _check_conservation(result: "SimulationResult") -> List[InvariantViolation]:
             f"gas partition mismatch: {tagged} dispute-tagged + {untagged} "
             f"untagged != {total_gas} total",
         ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Journal (fleet scenarios)
+# ----------------------------------------------------------------------
+
+def _check_journal(result: "SimulationResult") -> List[InvariantViolation]:
+    """J1: each shard's write-ahead journal is a valid spec-machine run.
+
+    Duck-typed on ``service.spec_journals()`` so only fleet scenarios pay
+    for it; a scenario over the in-process service/cluster has no journal
+    and the family vacuously passes.
+    """
+    spec_journals = getattr(result.service, "spec_journals", None)
+    if not callable(spec_journals):
+        return []
+    from repro.spec.machine import SpecViolation, validate_journal
+
+    out: List[InvariantViolation] = []
+    for shard_id, entries in spec_journals().items():
+        try:
+            summary = validate_journal(entries)
+        except SpecViolation as exc:
+            out.append(InvariantViolation(
+                "journal", "J1",
+                f"shard {shard_id!r} journal is not a valid spec run: {exc}",
+            ))
+            continue
+        for task_id, state in sorted(summary.in_flight_tasks.items()):
+            out.append(InvariantViolation(
+                "journal", "J1",
+                f"shard {shard_id!r} journal leaves task {task_id} "
+                f"non-terminal in {state!r} after the final drain",
+            ))
     return out
 
 

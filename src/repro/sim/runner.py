@@ -26,6 +26,8 @@ once for hundreds of scenarios).
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -159,7 +161,11 @@ def run_scenario(scenario: Scenario, workload: SimWorkload) -> SimulationResult:
 def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> SimulationResult:
     """Execute an (already expanded) schedule against a fresh service."""
     scenario = schedule.scenario
-    service = _build_service(scenario, workload)
+    # Crash events ride on the schedule (not just the scenario knob) so a
+    # shrunk schedule keeps crashing at the same event; their presence selects
+    # journal recovery for the fleet.
+    crash_events = any(event.crash_after for event in schedule.events)
+    service = _build_service(scenario, workload, journal_recovery=crash_events)
     fleet = isinstance(service, ProcessFleet)
     # A fleet's sessions live inside worker processes; actors travel as
     # wire specs instead of objects, so no parent-side session is needed.
@@ -206,6 +212,8 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
             elif fleet and len(service.ring.live_nodes) > 1:
                 drained_home = service.location(workload.graph.name)
                 service.drain_worker(drained_home)
+        if fleet and any(event.crash_after for event in cycle):
+            _arm_crash(service, workload.graph.name)
         service.process()
 
     outcomes = [
@@ -225,7 +233,31 @@ def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> Simulatio
 # Actor construction
 # ----------------------------------------------------------------------
 
-def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
+def _arm_crash(fleet: ProcessFleet, model_name: str) -> None:
+    """One-shot SIGKILL of the model's home worker at its next fresh chain call.
+
+    "Fresh" means a sequence id above the journal tail, so the hook never
+    re-fires on the deterministic replay a recovering worker performs — the
+    crash lands mid-transition (after the write-ahead record, inside the
+    chain-call stream) exactly once per armed cycle.
+    """
+    home = fleet.location(model_name)
+    tail = fleet.journal_for(home).chain_tail
+
+    def hook(shard_id: str, message: Dict[str, object],
+             _home: str = home, _tail: int = tail) -> None:
+        if shard_id != _home or int(message.get("seq", 0)) <= _tail:
+            return
+        fleet._chain_call_hook = None
+        handle = fleet.workers[shard_id]
+        os.kill(handle.process.pid, signal.SIGKILL)
+        handle.process.join(timeout=10.0)
+
+    fleet._chain_call_hook = hook
+
+
+def _build_service(scenario: Scenario, workload: SimWorkload,
+                   journal_recovery: bool = False) -> ServiceCore:
     if scenario.process_fleet:
         if scenario.threshold_scale != 1.0:
             raise ValueError(
@@ -241,6 +273,7 @@ def _build_service(scenario: Scenario, workload: SimWorkload) -> ServiceCore:
             enable_pipeline=scenario.pipelined,
             cycle_capacity=scenario.cycle_capacity,
             actor_module="repro.sim.fleet_actors",
+            recovery="journal" if journal_recovery else "failover",
         )
         envelope = workload.committee_envelope \
             if scenario.calibrated_committee else None

@@ -105,6 +105,14 @@ class Scenario:
     #: worker-side from the *registered* table, which must therefore equal
     #: the workload table the in-process runner uses).
     process_fleet: bool = False
+    #: When set (and ``process_fleet`` is True), the workload model's home
+    #: worker is SIGKILLed at this cycle's first *fresh* chain mutation —
+    #: mid-transition, after the write-ahead record but inside the chain
+    #: call stream — and the runner drives the fleet in ``recovery="journal"``
+    #: mode so the worker restarts from its parent-held journal and the
+    #: cycle's drain resumes.  Exercises the crash-recovery path under
+    #: whatever faults the cycle carries.
+    crash_home_at_cycle: Optional[int] = None
     #: Whether the service drains on the stage pipeline (the service
     #: default) or the synchronous reference path.  Pipelining only overlaps
     #: when a drain spans several cycles — pair with ``cycle_capacity``.
@@ -149,6 +157,11 @@ class RequestEvent:
     #: Fleet device index the drifted proposer executes on (device_drift).
     drift_device: int = 0
     fault_seed: int = 0
+    #: When True the runner SIGKILLs the workload's home fleet worker at the
+    #: first fresh chain mutation of the cycle this event opens, then lets
+    #: journal recovery resume the drain.  Carried on the event (not just the
+    #: scenario) so shrunk schedules replay the crash deterministically.
+    crash_after: bool = False
 
     @property
     def tampers(self) -> bool:
@@ -262,4 +275,18 @@ def expand(scenario: Scenario, graph: GraphModule, thresholds) -> ScenarioSchedu
             drift_device=drift_device,
             fault_seed=fault_seed,
         ))
+    if scenario.crash_home_at_cycle is not None and events:
+        # Lower the scenario-level knob onto the event that opens the target
+        # cycle (after the RNG loop, so the flag never perturbs the seeded
+        # stream).  The shrinker preserves flagged events verbatim, which
+        # keeps shrunk recovery counterexamples crashing at the same point.
+        cycle = int(scenario.crash_home_at_cycle)
+        if scenario.burst == "trickle":
+            opener = cycle
+        elif scenario.burst == "front":
+            opener = 2 * cycle
+        else:  # uniform: the whole schedule is one cycle
+            opener = 0 if cycle == 0 else len(events)
+        if 0 <= opener < len(events):
+            events[opener] = replace(events[opener], crash_after=True)
     return ScenarioSchedule(scenario=scenario, events=events)

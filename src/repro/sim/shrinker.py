@@ -48,15 +48,28 @@ def shrink_schedule(
     (family, rule) pairs of the full schedule's violations): a reduction
     that only triggers some unrelated invariant is not kept, so the minimal
     schedule reproduces the bug being debugged, not a different one.
+
+    Crash events (``crash_after=True``) are held outside the ddmin search:
+    they select journal recovery and anchor *where* the SIGKILL lands, so
+    removing one changes the failure mode rather than merely the schedule
+    size.  Every candidate is re-merged with them (in original event order),
+    which keeps shrunk recovery counterexamples replaying — crash included —
+    deterministically.
     """
     runs = 0
     last_violations: List[InvariantViolation] = []
     signature: set = set()
+    fixed = [event for event in schedule.events if event.crash_after]
+
+    def full(events: List[RequestEvent]) -> List[RequestEvent]:
+        merged = {id(event) for event in events}
+        combined = events + [e for e in fixed if id(e) not in merged]
+        return sorted(combined, key=lambda e: e.index)
 
     def violates(events: List[RequestEvent]) -> bool:
         nonlocal runs, last_violations
         runs += 1
-        result = run(replace(schedule, events=list(events)), workload)
+        result = run(replace(schedule, events=full(list(events))), workload)
         matching = [v for v in result.violations
                     if not signature or (v.family, v.rule) in signature]
         if matching:
@@ -64,7 +77,7 @@ def shrink_schedule(
             return True
         return False
 
-    events = list(schedule.events)
+    events = [event for event in schedule.events if not event.crash_after]
     if not violates(events):
         raise ValueError("shrink_schedule requires a schedule that violates "
                          "an invariant")
@@ -77,7 +90,7 @@ def shrink_schedule(
         reduced = False
         for start in range(0, len(events), chunk):
             candidate = events[:start] + events[start + chunk:]
-            if candidate and violates(candidate):
+            if (candidate or fixed) and violates(candidate):
                 events = candidate
                 granularity = max(granularity - 1, 2)
                 reduced = True
@@ -88,11 +101,13 @@ def shrink_schedule(
             if chunk == 1:
                 break  # 1-minimal: no single event can be removed
             granularity = min(granularity * 2, len(events))
-    # Re-establish the violations of the *final* minimal schedule.
-    final = run(replace(schedule, events=list(events)), workload)
+    # Re-establish the violations of the *final* minimal schedule (crash
+    # events re-merged, so the artifact replays the recovery path verbatim).
+    minimal = full(list(events))
+    final = run(replace(schedule, events=minimal), workload)
     matching = [v for v in final.violations if (v.family, v.rule) in signature]
     return ShrinkResult(
-        schedule=replace(schedule, events=list(events)),
+        schedule=replace(schedule, events=minimal),
         violations=matching or baseline,
         original_events=len(schedule.events),
         runs=runs,

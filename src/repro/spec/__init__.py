@@ -1,0 +1,80 @@
+"""Executable state-machine specification of the optimistic-verification
+protocol, with a small-scope exhaustive model checker.
+
+``repro.spec`` is the single checked artifact for the ordering rules that
+previously lived implicitly across the coordinator, the dispute game, and
+the service drain code:
+
+* :mod:`repro.spec.machine` — enumerated per-request states, the
+  ``(state, event) -> state`` transition relation, the integer escrow model
+  whose conservation is a theorem, and :func:`validate_journal` for checking
+  the write-ahead journals shard workers record before each chain mutation.
+* :mod:`repro.spec.explorer` — exhaustive breadth-first enumeration of every
+  reachable interleaving in a small scope (2–3 tenants, bounded bisection),
+  model-checking the S1–S3 / liveness / conservation invariants the
+  simulator only samples, with an executable termination proof.
+* :mod:`repro.spec.conformance` — replays every enumerated trace move for
+  move against a real ``TAOService`` coordinator and asserts bit-exact
+  agreement on states and settlement balances.
+"""
+
+from .machine import (
+    ACCOUNTS,
+    CHALLENGER_BOND,
+    CHALLENGER_REWARD,
+    DISPUTE_STATES,
+    EVENTS,
+    FEE,
+    PROPOSER_BOND,
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JournalSummary,
+    SpecEvent,
+    SpecViolation,
+    account_deltas,
+    partition_children,
+    settlement,
+    transition,
+    validate_journal,
+)
+from .explorer import (
+    DEFAULT_PROFILES,
+    ExplorationResult,
+    SpecScope,
+    count_traces,
+    explore,
+    local_successors,
+    local_traces,
+)
+from .conformance import ConformanceReport, conformance_replay
+
+__all__ = [
+    "ACCOUNTS",
+    "CHALLENGER_BOND",
+    "CHALLENGER_REWARD",
+    "DEFAULT_PROFILES",
+    "DISPUTE_STATES",
+    "EVENTS",
+    "FEE",
+    "PROPOSER_BOND",
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "ConformanceReport",
+    "ExplorationResult",
+    "JournalSummary",
+    "SpecEvent",
+    "SpecScope",
+    "SpecViolation",
+    "account_deltas",
+    "conformance_replay",
+    "count_traces",
+    "explore",
+    "local_successors",
+    "local_traces",
+    "partition_children",
+    "settlement",
+    "transition",
+    "validate_journal",
+]

@@ -1,0 +1,322 @@
+"""Small-scope exhaustive explorer for the protocol state machine.
+
+The simulator *samples* schedules; this module *enumerates* them.  A
+:class:`SpecScope` fixes a small universe — 2–3 tenants, one model size, one
+bisection arity, a menu of proposer/challenger behaviour profiles — and
+:func:`explore` breadth-first-searches every reachable interleaving of
+protocol events, checking at every state the invariants the simulator only
+samples:
+
+* **S1 (single settlement)** — terminal states admit no further events,
+* **S2 (bonds cover disputes)** — while any dispute is open the escrow holds
+  fee + proposer bond + challenger bond for it,
+* **S3 (slash exactness)** — a slashed bond splits exactly into challenger
+  reward plus burn,
+* **conservation** — per-state account deltas sum to zero, so
+  ``sum(balances) == minted`` holds at *every* reachable state,
+* **liveness / termination** — every non-terminal state has a successor, and
+  a lexicographic progress measure strictly decreases along every edge (an
+  executable proof that every dispute resolves in bounded rounds).
+
+:func:`local_traces` enumerates every maximal per-task event path in the
+scope; the conformance harness replays each one move-for-move against the
+real ``TAOService`` coordinator.  Tasks never share protocol state (only the
+ledger, which the deltas model), so the per-task projections of every global
+trace are exactly these paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from .machine import (
+    CHALLENGER_BOND,
+    CHALLENGER_REWARD,
+    DISPUTE_STATES,
+    FEE,
+    PROPOSER_BOND,
+    TERMINAL_STATES,
+    SpecEvent,
+    SpecViolation,
+    partition_children,
+    transition,
+)
+
+#: Proposer behaviour profiles.
+#:   honest — computes and answers correctly;
+#:   tamper — corrupted execution (loses adjudication);
+#:   stale  — reused stale inputs (the challenger's input-binding fraud
+#:            proof may land at any dispute round, or the game plays on);
+#:   stall  — may miss any partition deadline.
+PROPOSER_PROFILES = ("honest", "tamper", "stale", "stall")
+
+#: Challenger behaviour profiles.
+#:   none        — never challenges;
+#:   honest      — challenges exactly the dishonest proposers;
+#:   eager       — griefs honest results, may select any child or stall;
+#:   eager_stall — griefs and then always misses its deadlines.
+CHALLENGER_PROFILES = ("none", "honest", "eager", "eager_stall")
+
+#: The default behaviour menu: every pair the protocol must survive.
+DEFAULT_PROFILES: Tuple[Tuple[str, str], ...] = (
+    ("honest", "none"),
+    ("honest", "eager"),
+    ("honest", "eager_stall"),
+    ("tamper", "honest"),
+    ("stale", "honest"),
+    ("stall", "honest"),
+)
+
+#: Per-task local state: ``(profile index, spec state, window open, lo, hi)``
+#: where ``[lo, hi)`` is the disputed operator slice (``(0, 0)`` outside
+#: disputes, so semantically equal states collapse to one explored state).
+LocalState = Tuple[int, str, bool, int, int]
+
+INITIAL_LOCAL: LocalState = (-1, "queued", False, 0, 0)
+
+
+@dataclass(frozen=True)
+class SpecScope:
+    """One finite universe to exhaust: ``tenants`` concurrent requests over
+    a ``num_operators``-operator model disputed with ``n_way`` bisection,
+    each request drawn from any of ``profiles``."""
+
+    tenants: int = 2
+    num_operators: int = 7
+    n_way: int = 2
+    profiles: Tuple[Tuple[str, str], ...] = DEFAULT_PROFILES
+
+    def describe(self) -> str:
+        pairs = ",".join(f"{p}/{c}" for p, c in self.profiles)
+        return (f"{self.tenants} tenants x {self.num_operators} ops, "
+                f"{self.n_way}-way bisection, profiles [{pairs}]")
+
+
+@dataclass
+class ExplorationResult:
+    """What :func:`explore` found in one scope."""
+
+    scope: SpecScope
+    states_explored: int = 0
+    transitions_explored: int = 0
+    terminal_global_states: int = 0
+    violations: List[str] = field(default_factory=list)
+    #: Distinct per-task local states encountered (drives the state count).
+    local_states: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _progress_measure(local: LocalState) -> Tuple[int, int, int]:
+    """Strictly decreasing along every transition — the termination proof."""
+    _, state, window_open, lo, hi = local
+    if state == "queued":
+        return (3, 0, 0)
+    if state == "pending":
+        return (2, 2 if window_open else 1, 0)
+    if state == "dispute_partition":
+        return (1, hi - lo, 1)
+    if state == "dispute_selection":
+        return (1, hi - lo, 0)
+    if state == "dispute_adjudication":
+        return (1, 1, 0)
+    return (0, 0, 0)
+
+
+def _will_challenge(proposer: str, challenger: str) -> bool:
+    if challenger == "none":
+        return False
+    if challenger == "honest":
+        return proposer != "honest"
+    return True  # eager / eager_stall grief every result
+
+
+def local_successors(local: LocalState, scope: SpecScope,
+                     ) -> List[Tuple[SpecEvent, LocalState]]:
+    """Every event one task admits in ``local``, with its successor state.
+
+    This is where the behaviour profiles live; the *legality* of each step
+    is still delegated to :func:`repro.spec.machine.transition`, so a bug in
+    these rules surfaces as a :class:`SpecViolation` during exploration.
+    """
+    pidx, state, window_open, lo, hi = local
+    out: List[Tuple[SpecEvent, LocalState]] = []
+
+    def step(event: SpecEvent, new_window: bool, new_lo: int,
+             new_hi: int) -> None:
+        nxt = transition(state, event)
+        if nxt in TERMINAL_STATES:
+            new_slice = (False, 0, 0)
+        else:
+            new_slice = (new_window, new_lo, new_hi)
+        out.append((event, (new_pidx, nxt) + new_slice))
+
+    if state == "queued":
+        for new_pidx in range(len(scope.profiles)):
+            step(SpecEvent("submit"), True, 0, 0)
+        return out
+
+    new_pidx = pidx
+    proposer, challenger = scope.profiles[pidx]
+
+    if state == "pending":
+        if _will_challenge(proposer, challenger):
+            # Synchrony: a watching challenger always beats the window.
+            step(SpecEvent("challenge"), False, 0, scope.num_operators)
+        elif window_open:
+            step(SpecEvent("window_lapse"), False, 0, 0)
+        else:
+            step(SpecEvent("finalize"), False, 0, 0)
+        return out
+
+    if state == "dispute_partition":
+        if proposer == "stale":
+            # The fraud proof wins outright — but the challenger may also
+            # post it at any later round, so the game continues in parallel.
+            step(SpecEvent("input_fraud"), False, 0, 0)
+        if proposer == "stall":
+            step(SpecEvent("timeout"), False, 0, 0)
+        children = partition_children(lo, hi, scope.n_way)
+        step(SpecEvent("partition", children=children), False, lo, hi)
+        return out
+
+    if state == "dispute_selection":
+        children = partition_children(lo, hi, scope.n_way)
+        if proposer == "stale":
+            # A late-landing input-binding proof resolves mid-bisection.
+            step(SpecEvent("input_fraud"), False, 0, 0)
+        if challenger == "eager_stall":
+            step(SpecEvent("timeout"), False, 0, 0)
+            return out
+        if challenger == "eager":
+            step(SpecEvent("timeout"), False, 0, 0)
+        for index, (child_lo, child_hi) in enumerate(children):
+            at_leaf = child_hi - child_lo == 1
+            step(SpecEvent("select", at_leaf=at_leaf, child=index),
+                 False, child_lo, child_hi)
+        return out
+
+    if state == "dispute_adjudication":
+        # The committee verdict is an external input: branch both ways so
+        # the settlement rules are checked for either outcome.
+        step(SpecEvent("adjudicate", cheated=True), False, 0, 0)
+        step(SpecEvent("adjudicate", cheated=False), False, 0, 0)
+        if proposer == "stale":
+            # The fraud proof beats even a pending committee verdict.
+            step(SpecEvent("input_fraud"), False, 0, 0)
+        if challenger in ("eager", "eager_stall"):
+            # A griefing challenger may abandon the leaf it forced.
+            step(SpecEvent("timeout"), False, 0, 0)
+        return out
+
+    return out  # terminal: no successors
+
+
+def _check_state(locals_: Tuple[LocalState, ...],
+                 violations: List[str]) -> None:
+    """Per-state invariant checks (S2/S3 and conservation)."""
+    from .machine import account_deltas
+
+    totals = {"user": 0, "proposer": 0, "challenger": 0, "escrow": 0,
+              "burn": 0}
+    for local in locals_:
+        deltas = account_deltas(local[1])
+        for account, delta in deltas.items():
+            totals[account] += delta
+        state = local[1]
+        if state in DISPUTE_STATES:
+            if deltas["escrow"] < FEE + PROPOSER_BOND + CHALLENGER_BOND:
+                violations.append(
+                    f"S2: open dispute under-escrowed in {state}: {deltas}")
+        if state == "proposer_slashed":
+            if deltas["burn"] + deltas["challenger"] != PROPOSER_BOND:
+                violations.append(
+                    f"S3: slash does not split the bond exactly: {deltas}")
+            if deltas["challenger"] != CHALLENGER_REWARD:
+                violations.append(
+                    f"S3: challenger reward mismatch: {deltas}")
+    if sum(totals.values()) != 0:
+        violations.append(
+            f"conservation: state deltas sum to {sum(totals.values())} "
+            f"in {locals_!r}")
+    if totals["escrow"] < 0:
+        violations.append(f"conservation: negative escrow in {locals_!r}")
+
+
+def explore(scope: SpecScope, max_states: int = 2_000_000) -> ExplorationResult:
+    """Exhaustively enumerate every reachable global state of ``scope``."""
+    result = ExplorationResult(scope=scope)
+    initial: Tuple[LocalState, ...] = (INITIAL_LOCAL,) * scope.tenants
+    seen: set = {initial}
+    seen_local: set = set(initial)
+    queue: deque = deque([initial])
+    while queue:
+        if len(seen) > max_states:
+            result.violations.append(
+                f"scope exceeded the {max_states} state budget")
+            break
+        current = queue.popleft()
+        _check_state(current, result.violations)
+        successor_count = 0
+        for tenant, local in enumerate(current):
+            if local[1] in TERMINAL_STATES:
+                # S1: terminal states must admit no events at all.
+                if local_successors(local, scope):
+                    result.violations.append(
+                        f"S1: terminal state {local!r} admits an event")
+                continue
+            for event, new_local in local_successors(local, scope):
+                if not _progress_measure(new_local) < _progress_measure(local):
+                    result.violations.append(
+                        f"liveness: progress measure did not decrease on "
+                        f"{event.kind} from {local!r} to {new_local!r}")
+                successor_count += 1
+                result.transitions_explored += 1
+                seen_local.add(new_local)
+                succ = current[:tenant] + (new_local,) + current[tenant + 1:]
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        if successor_count == 0:
+            if all(local[1] in TERMINAL_STATES for local in current):
+                result.terminal_global_states += 1
+            else:
+                result.violations.append(
+                    f"liveness: non-terminal deadlock at {current!r}")
+    result.states_explored = len(seen)
+    result.local_states = len(seen_local)
+    return result
+
+
+#: One per-task path: the profile pair plus the ``(event, state-after)``
+#: sequence from submission to a terminal state.
+Trace = Tuple[Tuple[str, str], Tuple[Tuple[SpecEvent, str], ...]]
+
+
+def local_traces(scope: SpecScope) -> Iterator[Trace]:
+    """Every maximal per-task event path in ``scope`` (depth-first).
+
+    Tasks interact only through the ledger, so these projections cover the
+    per-task behaviour of every interleaved global trace the explorer
+    visits; the conformance harness replays each against ``TAOService``.
+    """
+    for pidx, pair in enumerate(scope.profiles):
+        start: LocalState = (pidx, "pending", True, 0, 0)
+        first = SpecEvent("submit")
+        stack: List[Tuple[LocalState, Tuple[Tuple[SpecEvent, str], ...]]] = [
+            (start, ((first, "pending"),))]
+        while stack:
+            local, path = stack.pop()
+            if local[1] in TERMINAL_STATES:
+                yield (pair, path)
+                continue
+            for event, new_local in local_successors(local, scope):
+                stack.append((new_local, path + ((event, new_local[1]),)))
+
+
+def count_traces(scope: SpecScope) -> int:
+    return sum(1 for _ in local_traces(scope))

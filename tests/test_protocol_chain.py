@@ -60,6 +60,24 @@ def test_balances_and_transfers():
         chain.fund("alice", -5.0)
 
 
+def test_transfer_insufficient_balance_is_exact():
+    """No epsilon slack: a transfer of balance + 5e-13 must raise.
+
+    Protocol amounts are binary fractions, so the balance check can (and
+    must) be exact — the old ``1e-12`` tolerance let sub-resolution
+    overdrafts through, minting dust out of thin air.
+    """
+    chain = SimulatedChain()
+    chain.fund("alice", 100.0)
+    with pytest.raises(ValueError, match="insufficient"):
+        chain.transfer("alice", "bob", 100.0 + 5e-13)
+    # The exact balance still moves in full.
+    chain.transfer("alice", "bob", 100.0)
+    assert chain.balance("alice") == 0.0
+    assert chain.balance("bob") == 100.0
+    assert sum(chain.balances.values()) == chain.minted
+
+
 def test_gas_accounting_helpers():
     chain = SimulatedChain()
     chain.submit("a", "open_dispute")

@@ -65,8 +65,8 @@ RUN_STATS = {
     "completed_sweeps": set(),
 }
 
-CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "pipelined", "committee",
-                   "elastic"} | set(ZOO_WORKLOADS)
+CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "recovery", "pipelined",
+                   "committee", "elastic"} | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -232,6 +232,75 @@ def test_randomized_fleet_scenarios_uphold_all_invariants(sim_mlp_workload):
             failovers_exercised += 1
     assert failovers_exercised == 3
     RUN_STATS["completed_sweeps"].add("fleet")
+
+
+def test_randomized_recovery_scenarios_uphold_all_invariants(sim_mlp_workload):
+    """6 seeded crash-recovery scenarios: SIGKILL + journal replay, faults on.
+
+    Each scenario sets ``crash_home_at_cycle``: the runner SIGKILLs the
+    model's home worker at the armed cycle's first fresh chain mutation and
+    the fleet restarts it from its write-ahead journal, mid-drain.  The full
+    invariant battery applies — including the journal family (J1): every
+    shard's recorded ``(state, event)`` stream must be a valid run of the
+    protocol state machine ending all-terminal.
+    """
+    for seed in range(6):
+        scenario = Scenario(
+            name=f"recovery-{seed}",
+            seed=5200 + seed,
+            model="tiny_mlp",
+            num_requests=4 + seed % 3,
+            fault_rate=0.6,
+            burst="front" if seed % 2 else "trickle",
+            n_way=2 + (seed % 2),
+            strict_localization=True,
+            num_shards=1 + seed % 2,
+            process_fleet=True,
+            crash_home_at_cycle=seed % 2,
+        )
+        result = run_scenario(scenario, sim_mlp_workload)
+        _assert_clean(result)
+        _record(result)
+        assert result.service.recoveries >= 1, scenario.name
+        assert result.service.forfeited_disputes == []
+    RUN_STATS["completed_sweeps"].add("recovery")
+
+
+def test_shrinker_preserves_crash_events(sim_mlp_workload):
+    """ddmin holds crash events fixed, so shrunk reproducers still crash.
+
+    The canary scenario (zeroed thresholds) violates S1 under journal
+    recovery too; the shrinker must keep the ``crash_after`` event in every
+    candidate it tries — and in the minimal schedule — so the emitted
+    regression replays the SIGKILL + journal-replay path deterministically.
+    """
+    canary = Scenario(
+        name="crash-canary", seed=13, model="tiny_mlp", num_requests=6,
+        fault_rate=0.0, force_challenge_rate=0.0, leaf_path="committee",
+        threshold_scale=0.0, burst="trickle",
+    )
+    schedule = expand(canary, sim_mlp_workload.graph,
+                      sim_mlp_workload.thresholds)
+    # Plant the crash on a mid-schedule event, as crash_home_at_cycle would
+    # (threshold_scale forbids process_fleet, so the flag is set directly;
+    # the shrinker must preserve it regardless of how the run interprets it).
+    events = list(schedule.events)
+    events[2] = replace(events[2], crash_after=True)
+    schedule = replace(schedule, events=events)
+
+    shrunk = shrink_schedule(schedule, sim_mlp_workload)
+    assert any(e.crash_after for e in shrunk.schedule.events), \
+        "the crash event was shrunk away"
+    assert any(v.rule == "S1" for v in shrunk.violations)
+    # The crash event rides along; ddmin still minimizes the rest.
+    assert shrunk.minimal_events <= 2
+    indices = [e.index for e in shrunk.schedule.events]
+    assert indices == sorted(indices)
+
+    emitted = emit_regression_test(shrunk, workload_expr="sim_mlp_workload",
+                                   test_name="test_shrunk_crash")
+    assert "crash_after=True" in emitted
+    compile(emitted, "<shrunk-crash-regression>", "exec")
 
 
 def test_randomized_elastic_scenarios_uphold_all_invariants(sim_mlp_workload):

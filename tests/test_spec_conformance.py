@@ -1,0 +1,67 @@
+"""Conformance: every explored spec trace replays exactly on TAOService."""
+
+import pytest
+
+from repro.protocol.service import TAOService
+from repro.spec import (
+    SpecScope,
+    conformance_replay,
+    count_traces,
+    explore,
+)
+from repro.spec.conformance import STATE_MAP
+from repro.spec.machine import STATES, TERMINAL_STATES
+
+
+@pytest.fixture(scope="module")
+def spec_service(mlp_graph, mlp_thresholds):
+    """One real service whose coordinator every trace replays against."""
+    service = TAOService(n_way=2)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    return service
+
+
+def test_state_map_covers_every_post_submission_state():
+    assert set(STATE_MAP) == set(STATES) - {"queued"}
+
+
+def test_every_trace_replays_bit_exactly(spec_service, mlp_graph):
+    scope = SpecScope(tenants=2, num_operators=7, n_way=2)
+    exploration = explore(scope)
+    assert exploration.ok, exploration.violations[:5]
+    report = conformance_replay(spec_service, mlp_graph.name, scope)
+    assert report.ok, report.mismatches[:5]
+    assert report.traces_replayed == count_traces(scope)
+    assert report.traces_replayed >= 50
+    assert report.events_replayed > report.traces_replayed
+    # The coordinator journaled every replayed transition except the pure
+    # time events (window_lapse), which touch no chain state.
+    lapses = report.events_replayed - report.journal_entries_validated
+    assert 0 <= lapses < report.traces_replayed
+
+
+def test_three_way_bisection_replays_too(mlp_graph, mlp_thresholds):
+    service = TAOService(n_way=3)
+    service.register_model(mlp_graph, threshold_table=mlp_thresholds)
+    scope = SpecScope(tenants=2, num_operators=7, n_way=3)
+    assert explore(scope).ok
+    report = conformance_replay(service, mlp_graph.name, scope)
+    assert report.ok, report.mismatches[:5]
+
+
+def test_conformance_requires_matching_operator_count(spec_service, mlp_graph):
+    from repro.spec import SpecViolation
+    with pytest.raises(SpecViolation, match="operators"):
+        conformance_replay(spec_service, mlp_graph.name,
+                           SpecScope(num_operators=9))
+
+
+def test_replay_ends_with_exact_conservation(spec_service):
+    chain = spec_service.coordinator.chain
+    assert sum(chain.balances.values()) == chain.minted
+
+
+def test_traces_end_terminal():
+    from repro.spec import local_traces
+    for _pair, events in local_traces(SpecScope(tenants=1)):
+        assert events[-1][1] in TERMINAL_STATES

@@ -1,0 +1,219 @@
+"""Unit tests for the executable protocol state machine and its explorer."""
+
+import pytest
+
+from repro.spec import (
+    DEFAULT_PROFILES,
+    SpecEvent,
+    SpecScope,
+    SpecViolation,
+    TRANSITIONS,
+    account_deltas,
+    count_traces,
+    explore,
+    local_traces,
+    partition_children,
+    settlement,
+    transition,
+    validate_journal,
+)
+from repro.spec.machine import (
+    ACCOUNTS,
+    CHALLENGER_BOND,
+    CHALLENGER_REWARD,
+    DISPUTE_STATES,
+    EVENTS,
+    FEE,
+    PROPOSER_BOND,
+    STATES,
+    TERMINAL_STATES,
+)
+
+
+# ----------------------------------------------------------------------
+# Transition relation
+# ----------------------------------------------------------------------
+
+def test_relation_is_closed_over_declared_states_and_events():
+    for (state, event), targets in TRANSITIONS.items():
+        assert state in STATES
+        assert event in EVENTS
+        assert state not in TERMINAL_STATES
+        for target in targets:
+            assert target in STATES
+
+
+def test_terminal_states_admit_no_events():
+    for state in TERMINAL_STATES:
+        for event in EVENTS:
+            assert (state, event) not in TRANSITIONS
+
+
+def test_transition_follows_payload():
+    assert transition("queued", SpecEvent("submit")) == "pending"
+    assert transition("pending", SpecEvent("window_lapse")) == "pending"
+    assert transition("pending", SpecEvent("finalize")) == "finalized"
+    assert transition("pending", SpecEvent("challenge")) == "dispute_partition"
+    assert transition("pending", SpecEvent("challenge", at_leaf=True)) == \
+        "dispute_adjudication"
+    assert transition("dispute_selection", SpecEvent("select", child=0)) == \
+        "dispute_partition"
+    assert transition("dispute_selection",
+                      SpecEvent("select", at_leaf=True, child=1)) == \
+        "dispute_adjudication"
+    assert transition("dispute_adjudication",
+                      SpecEvent("adjudicate", cheated=True)) == \
+        "proposer_slashed"
+    assert transition("dispute_adjudication",
+                      SpecEvent("adjudicate", cheated=False)) == \
+        "challenger_slashed"
+
+
+def test_inadmissible_events_raise():
+    with pytest.raises(SpecViolation):
+        transition("queued", SpecEvent("finalize"))
+    with pytest.raises(SpecViolation):
+        transition("finalized", SpecEvent("challenge"))
+    with pytest.raises(SpecViolation):
+        transition("dispute_partition", SpecEvent("select", child=0))
+    with pytest.raises(SpecViolation):
+        SpecEvent("bogus")
+
+
+# ----------------------------------------------------------------------
+# Economics: conservation as a theorem
+# ----------------------------------------------------------------------
+
+def test_every_state_conserves_value_exactly():
+    for state in STATES:
+        deltas = account_deltas(state)
+        assert set(deltas) == set(ACCOUNTS)
+        assert sum(deltas.values()) == 0, state
+        assert deltas["escrow"] >= 0, state
+
+
+def test_dispute_states_escrow_all_bonds():
+    for state in DISPUTE_STATES:
+        assert account_deltas(state)["escrow"] == \
+            FEE + PROPOSER_BOND + CHALLENGER_BOND
+
+
+def test_slash_splits_the_bond_exactly():
+    slashed = settlement("proposer_slashed")
+    assert slashed["challenger"] == CHALLENGER_REWARD
+    assert slashed["burn"] == PROPOSER_BOND - CHALLENGER_REWARD
+    assert slashed["proposer"] == -PROPOSER_BOND
+    forfeit = settlement("challenger_slashed")
+    assert forfeit["challenger"] == -CHALLENGER_BOND
+    assert forfeit["proposer"] == FEE + CHALLENGER_BOND
+    with pytest.raises(SpecViolation):
+        settlement("pending")
+
+
+def test_integer_amounts_are_exact_floats():
+    for amount in (FEE, PROPOSER_BOND, CHALLENGER_BOND, CHALLENGER_REWARD):
+        assert float(amount) == amount
+        assert int(float(amount)) == amount
+
+
+# ----------------------------------------------------------------------
+# Partition geometry
+# ----------------------------------------------------------------------
+
+def test_partition_children_cover_and_shrink():
+    for size in range(2, 12):
+        for n_way in (2, 3, 4):
+            children = partition_children(0, size, n_way)
+            assert children[0][0] == 0 and children[-1][1] == size
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(children, children[1:]):
+                assert a_hi == b_lo  # contiguous
+            for lo, hi in children:
+                assert 0 < hi - lo < size  # non-empty, strictly smaller
+    with pytest.raises(SpecViolation):
+        partition_children(0, 1, 2)
+
+
+# ----------------------------------------------------------------------
+# Journal validation
+# ----------------------------------------------------------------------
+
+def _entry(task, state, event, nxt):
+    return {"task": task, "state": state, "event": event, "next": nxt}
+
+
+def test_validate_journal_accepts_a_full_run():
+    entries = [
+        {"event": "register", "model": "m"},
+        _entry(0, "queued", "submit", "pending"),
+        _entry(1, "queued", "submit", "pending"),
+        _entry(0, "pending", "challenge", "dispute_partition"),
+        _entry(1, "pending", "finalize", "finalized"),
+        _entry(0, "dispute_partition", "partition", "dispute_selection"),
+        _entry(0, "dispute_selection", "select", "dispute_adjudication"),
+        _entry(0, "dispute_adjudication", "adjudicate", "proposer_slashed"),
+    ]
+    summary = validate_journal(entries)
+    assert summary.entries_validated == len(entries)
+    assert summary.registered_models == ["m"]
+    assert summary.final_states == {0: "proposer_slashed", 1: "finalized"}
+    assert summary.in_flight_tasks == {}
+
+
+def test_validate_journal_reports_in_flight_disputes():
+    entries = [
+        _entry(0, "queued", "submit", "pending"),
+        _entry(0, "pending", "challenge", "dispute_partition"),
+    ]
+    summary = validate_journal(entries)
+    assert summary.in_flight_tasks == {0: "dispute_partition"}
+
+
+def test_validate_journal_rejects_skipped_states_and_bad_edges():
+    with pytest.raises(SpecViolation, match="implies"):
+        validate_journal([
+            _entry(0, "queued", "submit", "pending"),
+            _entry(0, "dispute_partition", "partition", "dispute_selection"),
+        ])
+    with pytest.raises(SpecViolation, match="not\\s+admissible"):
+        validate_journal([_entry(0, "queued", "finalize", "finalized")])
+    with pytest.raises(SpecViolation, match="cannot reach"):
+        validate_journal([_entry(0, "queued", "submit", "finalized")])
+    with pytest.raises(SpecViolation, match="missing"):
+        validate_journal([{"event": "submit"}])
+
+
+# ----------------------------------------------------------------------
+# Small-scope exhaustive exploration
+# ----------------------------------------------------------------------
+
+def test_exhaustive_two_tenant_scope_is_clean():
+    result = explore(SpecScope(tenants=2, num_operators=7, n_way=2))
+    assert result.ok, result.violations[:5]
+    assert result.states_explored > 1000
+    assert result.transitions_explored > result.states_explored
+    assert result.terminal_global_states > 0
+
+
+def test_exploration_covers_every_local_transition_edge():
+    """Every edge of the relation is exercised somewhere in the scope."""
+    scope = SpecScope(tenants=1, num_operators=7, n_way=2)
+    seen_edges = set()
+    for _pair, events in local_traces(scope):
+        state = "queued"
+        for event, nxt in events:
+            seen_edges.add((state, event.kind))
+            state = nxt
+    assert seen_edges == set(TRANSITIONS)
+
+
+def test_trace_count_matches_exploration_of_one_tenant():
+    scope = SpecScope(tenants=1, num_operators=7, n_way=2)
+    n = count_traces(scope)
+    assert n == sum(1 for _ in local_traces(scope))
+    assert n >= len(DEFAULT_PROFILES)
+
+
+def test_explorer_state_budget_is_enforced():
+    result = explore(SpecScope(tenants=2), max_states=10)
+    assert not result.ok
+    assert any("budget" in v for v in result.violations)
