@@ -34,7 +34,7 @@ def build_proposer(service: Any, model_name: str, spec: Dict[str, Any]):
     if kind == "honest":
         device = DEVICE_FLEET[int(spec.get("device_index", 0)) % len(DEVICE_FLEET)]
         if spec.get("fund", True):
-            session.coordinator.chain.fund(spec["name"], session.initial_balance)
+            session.coordinator.chain.fund_once(spec["name"], session.initial_balance)
         return HonestProposer(spec["name"], device, hash_cache=service.hash_cache)
     raise ValueError(f"unknown proposer spec type {kind!r}")
 

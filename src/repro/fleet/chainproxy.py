@@ -81,6 +81,10 @@ class ChainClient:
     def fund(self, account: str, amount: float) -> None:
         self._call("fund", account=account, amount=float(amount))
 
+    def fund_once(self, account: str, amount: float) -> bool:
+        return bool(self._call("fund_once", account=account,
+                               amount=float(amount)))
+
     def transfer(self, source: str, destination: str, amount: float) -> None:
         self._call("transfer", source=source, destination=destination,
                    amount=float(amount))

@@ -456,6 +456,8 @@ class ProcessFleet(ServiceCore):
             if method == "fund":
                 self.chain.fund(args["account"], args["amount"])
                 value: Any = None
+            elif method == "fund_once":
+                value = self.chain.fund_once(args["account"], args["amount"])
             elif method == "transfer":
                 self.chain.transfer(args["source"], args["destination"],
                                     args["amount"])

@@ -134,6 +134,37 @@ class SimulatedChain:
             self.balances[account] = self.balances.get(account, 0.0) + float(amount)
             self.minted += float(amount)
 
+    def fund_once(self, account: str, amount: float) -> bool:
+        """Mint ``amount`` into ``account`` only if the account is new.
+
+        Standing-role funding goes through this entry point so that a chain
+        *carried across* protocol episodes (the long-horizon campaign driver
+        in :mod:`repro.sim.campaign`) keeps its depleted stakes: a proposer
+        slashed down over earlier cycles re-enters the next cycle with what
+        is left, not a fresh mint.  On a fresh chain every account is new, so
+        the behaviour is exactly :meth:`fund` — the seed path is unchanged.
+        Returns whether a mint happened.
+        """
+        if amount < 0:
+            raise ValueError("cannot fund a negative amount")
+        with self._lock:
+            if account in self.balances:
+                return False
+            self.balances[account] = float(amount)
+            self.minted += float(amount)
+            return True
+
+    def carry_over(self, balances: Dict[str, float]) -> None:
+        """Seed this (fresh) chain with a ledger carried from earlier cycles.
+
+        Accounts are minted in sorted order so the float accumulation of
+        ``minted`` is deterministic regardless of the dict's insertion
+        history — the campaign determinism pin compares minted totals
+        bit-exactly across worker interleavings.
+        """
+        for account in sorted(balances):
+            self.fund(account, balances[account])
+
     def balance(self, account: str) -> float:
         return self.balances.get(account, 0.0)
 
@@ -294,6 +325,9 @@ class ShardChainView:
 
     def fund(self, account: str, amount: float) -> None:
         self.parent.fund(account, amount)
+
+    def fund_once(self, account: str, amount: float) -> bool:
+        return self.parent.fund_once(account, amount)
 
     def balance(self, account: str) -> float:
         return self.parent.balance(account)

@@ -120,7 +120,10 @@ class TAOSession:
 
         ``fund_owner=False`` registers without minting the owner's initial
         balance — the failover path re-homing an already-funded tenant on a
-        new shard (or a new fleet worker) must not create money.
+        new shard (or a new fleet worker) must not create money.  Funding
+        itself goes through :meth:`~repro.protocol.chain.SimulatedChain.fund_once`,
+        so a chain carried across campaign cycles keeps existing balances
+        instead of re-minting them.
         """
         if self.thresholds is None:
             if self.calibration is None:
@@ -142,7 +145,7 @@ class TAOSession:
             committee_envelope=self.committee_envelope,
         )
         if fund_owner:
-            self.coordinator.chain.fund(owner, self.initial_balance)
+            self.coordinator.chain.fund_once(owner, self.initial_balance)
         # A tenant re-homed to a worker that hosted it before (drain, then a
         # later rebalance routing it back) re-runs setup against a
         # coordinator that already holds the model.  Registration is
@@ -174,19 +177,19 @@ class TAOSession:
     def make_user(self, name: str = "user", fee: float = 10.0,
                   fund: bool = True) -> User:
         if fund:
-            self.coordinator.chain.fund(name, self.initial_balance)
+            self.coordinator.chain.fund_once(name, self.initial_balance)
         return User(name=name, fee_per_request=fee)
 
     def make_honest_proposer(self, name: str = "proposer",
                              device: Optional[DeviceProfile] = None,
                              fund: bool = True) -> HonestProposer:
         if fund:
-            self.coordinator.chain.fund(name, self.initial_balance)
+            self.coordinator.chain.fund_once(name, self.initial_balance)
         return HonestProposer(name, device or self.devices[0], hash_cache=self.hash_cache)
 
     def make_adversarial_proposer(self, name: str, perturbations,
                                   device: Optional[DeviceProfile] = None) -> AdversarialProposer:
-        self.coordinator.chain.fund(name, self.initial_balance)
+        self.coordinator.chain.fund_once(name, self.initial_balance)
         return AdversarialProposer(name, device or self.devices[0], perturbations,
                                    hash_cache=self.hash_cache)
 
@@ -195,7 +198,7 @@ class TAOSession:
                         fund: bool = True) -> Challenger:
         self.require_setup()
         if fund:
-            self.coordinator.chain.fund(name, self.initial_balance)
+            self.coordinator.chain.fund_once(name, self.initial_balance)
         return Challenger(name, device or self.devices[-1], self.thresholds,
                           hash_cache=self.hash_cache,
                           committee_envelope=self.committee_envelope)

@@ -1047,7 +1047,7 @@ class TAOService(ServiceCore):
         """
         entry.challenger_clones += 1
         name = f"{entry.challenger.name}-{entry.challenger_clones}"
-        self.coordinator.chain.fund(name, entry.session.initial_balance)
+        self.coordinator.chain.fund_once(name, entry.session.initial_balance)
         return Challenger(name, entry.challenger.device, entry.challenger.thresholds,
                           hash_cache=self.hash_cache,
                           committee_envelope=entry.challenger.committee_envelope)

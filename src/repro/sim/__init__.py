@@ -13,9 +13,36 @@ axis into an executable artifact:
 * :mod:`repro.sim.invariants` — safety / liveness / conservation checks run
   after every scenario;
 * :mod:`repro.sim.shrinker` — ddmin bisection of violating schedules to
-  minimal counterexamples, emitted as paste-ready regression tests.
+  minimal counterexamples, emitted as paste-ready regression tests;
+* :mod:`repro.sim.adversary` — adaptive policies: detection-boundary
+  annealing, stake-aware expected-value cheating, committee collusion with
+  Sybil stake dynamics;
+* :mod:`repro.sim.sprt` — sequential probability-ratio early stopping, one
+  test per invariant family;
+* :mod:`repro.sim.campaign` — long-horizon campaigns threading one stake
+  ledger through thousands of protocol interactions, inline or fanned
+  across worker processes over the fleet's canonical-bytes transport.
 """
 
+from repro.sim.adversary import (
+    ANNEALED_KINDS,
+    AdaptiveAdversary,
+    BoundaryAnnealer,
+    BoundaryEstimate,
+    CheatDecision,
+    CollusionConfig,
+    CollusionStakeStrategy,
+    StakeAwareCheatPolicy,
+)
+from repro.sim.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    CycleRecord,
+    campaign_workload,
+    run_campaign_scenario,
+)
 from repro.sim.faults import (
     FAULT_KINDS,
     LOCALIZATION_FREE_KINDS,
@@ -52,8 +79,35 @@ from repro.sim.scenario import (
     expand,
 )
 from repro.sim.shrinker import ShrinkResult, emit_regression_test, shrink_schedule
+from repro.sim.sprt import (
+    FAMILIES,
+    SPRTConfig,
+    SPRTFamily,
+    SPRTMonitor,
+    family_of,
+)
 
 __all__ = [
+    "ANNEALED_KINDS",
+    "AdaptiveAdversary",
+    "BoundaryAnnealer",
+    "BoundaryEstimate",
+    "CheatDecision",
+    "CollusionConfig",
+    "CollusionStakeStrategy",
+    "StakeAwareCheatPolicy",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "CycleRecord",
+    "campaign_workload",
+    "run_campaign_scenario",
+    "FAMILIES",
+    "SPRTConfig",
+    "SPRTFamily",
+    "SPRTMonitor",
+    "family_of",
     "FAULT_KINDS",
     "DEFAULT_FAULT_KINDS",
     "LOCALIZATION_FREE_KINDS",

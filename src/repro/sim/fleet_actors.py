@@ -51,7 +51,7 @@ def build_proposer(service: Any, model_name: str, spec: Dict[str, Any]):
             spec["kind"], session.graph_module, session.thresholds,
             spec["victim"], spec["magnitude"], int(spec["seed"]),
         )
-        chain.fund(spec["name"], session.initial_balance)
+        chain.fund_once(spec["name"], session.initial_balance)
         return SimProposer(spec["name"], DEVICE_FLEET[0], overrides,
                            hash_cache=service.hash_cache,
                            partition_delay_s=float(spec["partition_delay_s"]))
@@ -65,7 +65,7 @@ def build_proposer(service: Any, model_name: str, spec: Dict[str, Any]):
                                    session.model_commitment,
                                    spec["decoy_inputs"])
             _DECOY_CACHE[key] = source
-        chain.fund(spec["name"], session.initial_balance)
+        chain.fund_once(spec["name"], session.initial_balance)
         return StaleTraceProposer(spec["name"], DEVICE_FLEET[0], source,
                                   hash_cache=service.hash_cache)
     # honest / adversarial specs are the fleet's own vocabulary.
@@ -77,7 +77,7 @@ def build_challenger(service: Any, model_name: str, spec: Dict[str, Any]):
     if spec["type"] != "sim_challenger":
         return default_actors.build_challenger(service, model_name, spec)
     session = service.model(model_name).session
-    session.coordinator.chain.fund(spec["name"], session.initial_balance)
+    session.coordinator.chain.fund_once(spec["name"], session.initial_balance)
     return SimChallenger(spec["name"], session.devices[-1], session.thresholds,
                          hash_cache=service.hash_cache,
                          selection_delay_s=float(spec["selection_delay_s"]),

@@ -152,20 +152,30 @@ def prepare_workload(model_name: str, calibration_samples: int = 12,
     return workload
 
 
-def run_scenario(scenario: Scenario, workload: SimWorkload) -> SimulationResult:
+def run_scenario(scenario: Scenario, workload: SimWorkload,
+                 chain=None) -> SimulationResult:
     """Expand and run one scenario; invariants are checked on the way out."""
     return run_schedule(expand(scenario, workload.graph, workload.thresholds),
-                        workload)
+                        workload, chain=chain)
 
 
-def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload) -> SimulationResult:
-    """Execute an (already expanded) schedule against a fresh service."""
+def run_schedule(schedule: ScenarioSchedule, workload: SimWorkload,
+                 chain=None) -> SimulationResult:
+    """Execute an (already expanded) schedule against a fresh service.
+
+    ``chain`` injects the settlement ledger the service is built over
+    (default: a fresh :class:`~repro.protocol.chain.SimulatedChain`).  The
+    campaign driver passes a chain pre-seeded with the stake ledger carried
+    from earlier cycles — standing roles fund through ``fund_once``, so
+    existing balances survive instead of being re-minted.
+    """
     scenario = schedule.scenario
     # Crash events ride on the schedule (not just the scenario knob) so a
     # shrunk schedule keeps crashing at the same event; their presence selects
     # journal recovery for the fleet.
     crash_events = any(event.crash_after for event in schedule.events)
-    service = _build_service(scenario, workload, journal_recovery=crash_events)
+    service = _build_service(scenario, workload, journal_recovery=crash_events,
+                             chain=chain)
     fleet = isinstance(service, ProcessFleet)
     # A fleet's sessions live inside worker processes; actors travel as
     # wire specs instead of objects, so no parent-side session is needed.
@@ -257,7 +267,7 @@ def _arm_crash(fleet: ProcessFleet, model_name: str) -> None:
 
 
 def _build_service(scenario: Scenario, workload: SimWorkload,
-                   journal_recovery: bool = False) -> ServiceCore:
+                   journal_recovery: bool = False, chain=None) -> ServiceCore:
     if scenario.process_fleet:
         if scenario.threshold_scale != 1.0:
             raise ValueError(
@@ -266,6 +276,7 @@ def _build_service(scenario: Scenario, workload: SimWorkload,
                 "threshold table, which must equal the workload table")
         fleet = ProcessFleet(
             num_workers=max(scenario.num_shards, 1),
+            chain=chain,
             n_way=scenario.n_way,
             leaf_path=scenario.leaf_path,
             committee_size=scenario.committee_size,
@@ -288,6 +299,7 @@ def _build_service(scenario: Scenario, workload: SimWorkload,
     if scenario.num_shards > 1:
         service: ServiceCore = TAOCluster(
             num_shards=scenario.num_shards,
+            chain=chain,
             n_way=scenario.n_way,
             leaf_path=scenario.leaf_path,
             committee_size=scenario.committee_size,
@@ -297,7 +309,7 @@ def _build_service(scenario: Scenario, workload: SimWorkload,
         )
     else:
         service = TAOService(
-            coordinator=Coordinator(),
+            coordinator=Coordinator(chain=chain),
             n_way=scenario.n_way,
             leaf_path=scenario.leaf_path,
             committee_size=scenario.committee_size,
@@ -342,7 +354,7 @@ def _build_proposer(event: RequestEvent, scenario: Scenario,
     if event.kind == "honest":
         return None
     if event.kind == "device_drift":
-        chain.fund(name, session.initial_balance)
+        chain.fund_once(name, session.initial_balance)
         return HonestProposer(name, DEVICE_FLEET[event.drift_device % len(DEVICE_FLEET)],
                               hash_cache=workload.hash_cache)
     if event.kind == "stale_trace":
@@ -354,7 +366,7 @@ def _build_proposer(event: RequestEvent, scenario: Scenario,
             source = scout.execute(workload.graph, session.model_commitment,
                                    workload.sample_inputs(event.decoy_seed))
             honest_results[event.decoy_seed] = source
-        chain.fund(name, session.initial_balance)
+        chain.fund_once(name, session.initial_balance)
         return StaleTraceProposer(name, DEVICE_FLEET[0], source,
                                   hash_cache=workload.hash_cache)
     overrides = make_fault_overrides(
@@ -363,7 +375,7 @@ def _build_proposer(event: RequestEvent, scenario: Scenario,
         derive_seed(event.fault_seed, "fault", event.index),
     )
     delay = DROPPED_MOVE_DELAY_S if event.kind == "drop_partition" else 0.0
-    chain.fund(name, session.initial_balance)
+    chain.fund_once(name, session.initial_balance)
     return SimProposer(name, DEVICE_FLEET[0], overrides,
                        hash_cache=workload.hash_cache, partition_delay_s=delay)
 
@@ -377,7 +389,7 @@ def _build_challenger(event: RequestEvent, scenario: Scenario,
         else LATE_MOVE_DELAY_S
     session = service.model(workload.graph.name).session
     name = f"sim-challenger-{event.index}"
-    session.coordinator.chain.fund(name, session.initial_balance)
+    session.coordinator.chain.fund_once(name, session.initial_balance)
     return SimChallenger(name, session.devices[-1], session.thresholds,
                          hash_cache=workload.hash_cache, selection_delay_s=delay,
                          committee_envelope=session.committee_envelope)

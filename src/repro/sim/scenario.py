@@ -12,7 +12,7 @@ subset of a schedule is itself a valid, deterministic schedule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import GraphModule
@@ -126,7 +126,29 @@ class Scenario:
     #: bound).  Small values split one burst into many in-flight cycles, so
     #: faulty disputes of cycle N genuinely overlap execution of cycle N+1.
     cycle_capacity: Optional[int] = None
+    #: Pool of fleet device indices ``device_drift`` events draw their
+    #: drifted proposer from.  The default is the full calibrated fleet (and
+    #: reproduces the historical RNG stream exactly); the campaign driver
+    #: narrows it per cycle to model devices entering/leaving mid-campaign.
+    drift_devices: Tuple[int, ...] = (0, 1, 2, 3)
     magnitudes: Tuple[Tuple[str, float], ...] = tuple(sorted(DEFAULT_MAGNITUDES.items()))
+
+    def __post_init__(self) -> None:
+        # Freeze the canonical tuple representation at construction.
+        # ``magnitudes`` may arrive as a dict, or as lists-of-pairs decoded
+        # from the canonical wire codec; normalizing here means a scenario
+        # never aliases caller-held mutable state (the adaptive adversary
+        # updates its magnitude maps between cycles) and two specs with the
+        # same content always compare and hash equal.
+        mags = self.magnitudes
+        items = mags.items() if isinstance(mags, dict) else mags
+        object.__setattr__(
+            self, "magnitudes",
+            tuple(sorted((str(k), float(v)) for k, v in items)))
+        object.__setattr__(
+            self, "fault_kinds", tuple(str(k) for k in self.fault_kinds))
+        object.__setattr__(
+            self, "drift_devices", tuple(int(d) for d in self.drift_devices))
 
     def magnitude_for(self, kind: str) -> float:
         return dict(self.magnitudes).get(kind, 0.0)
@@ -135,6 +157,20 @@ class Scenario:
         mags = dict(self.magnitudes)
         mags[kind] = float(value)
         return replace(self, magnitudes=tuple(sorted(mags.items())))
+
+    def to_payload(self) -> Dict[str, object]:
+        """Codec-ready form (scalars, sequences, string-keyed maps only).
+
+        The campaign runner ships scenarios to worker processes over the
+        fleet transport's canonical framing — no pickle — so the spec must
+        round-trip through :func:`repro.utils.serialization.canonical_bytes`.
+        """
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "Scenario":
+        """Inverse of :meth:`to_payload` (``__post_init__`` re-freezes tuples)."""
+        return Scenario(**payload)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -263,7 +299,12 @@ def expand(scenario: Scenario, graph: GraphModule, thresholds) -> ScenarioSchedu
                  and rng.random() < scenario.force_challenge_rate)
         decoy_seed = events[int(rng.integers(0, len(events)))].input_seed \
             if events else int(rng.integers(0, 2**31 - 1))
-        drift_device = int(rng.integers(0, 4)) if kind == "device_drift" else 0
+        # Drawing an index into the drift pool consumes the same RNG stream
+        # as the historical fixed-fleet draw whenever the pool has 4 entries,
+        # so every pinned schedule expands unchanged under the default pool.
+        drift_device = scenario.drift_devices[
+            int(rng.integers(0, len(scenario.drift_devices)))] \
+            if kind == "device_drift" else 0
         events.append(RequestEvent(
             index=index,
             input_seed=input_seed,

@@ -1,0 +1,167 @@
+"""Sequential probability-ratio early stopping for invariant campaigns.
+
+A campaign asks, per invariant family, "is the per-scenario violation rate
+zero?"  Wald's sequential probability-ratio test answers it with a bounded
+error without a fixed sample size: the null hypothesis is the protocol's
+claim (violation probability 0), the alternative is a violation rate of at
+least ``p1``.  Under a zero null the test degenerates into a particularly
+clean one-sided form:
+
+* any observed violation has likelihood 0 under the null, so the log
+  likelihood ratio jumps to +inf and the family is **rejected immediately**
+  (one counterexample falsifies a universal claim — no statistics needed);
+* every clean scenario multiplies the ratio by ``(1 - p1)``, so the log
+  ratio drifts down by ``log(1 - p1)`` and the family is **accepted** once
+  it crosses ``log(beta)`` — after ``ceil(log(beta) / log(1 - p1))`` clean
+  scenarios the probability of wrongly accepting a protocol whose true
+  violation rate is ``>= p1`` is at most ``beta``.
+
+Observations are consumed in **scenario-index order** regardless of arrival
+order (the multiprocess campaign runner completes scenarios out of order),
+and the decision freezes at the first crossing.  Both properties together
+make the stopping decision invariant to how the campaign was partitioned
+into worker batches — the property test in ``tests/test_sim_sprt.py`` pins
+exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: The invariant families the campaign monitors, in report order.  Rules map
+#: onto them by prefix: liveness rules (L1, L2) fold into one liveness
+#: family, conservation rules (C1-C3) into one conservation family, and the
+#: fleet journal rule stands alone; the safety rules stay distinct because
+#: each states a different protocol claim.
+FAMILIES: Tuple[str, ...] = ("S1", "S2", "S3", "L1", "C", "J1")
+
+
+def family_of(rule: str) -> str:
+    """Map an :class:`~repro.sim.invariants.InvariantViolation` rule to its family."""
+    if rule.startswith("C"):
+        return "C"
+    if rule.startswith("L"):
+        return "L1"
+    if rule.startswith("J"):
+        return "J1"
+    return rule
+
+
+@dataclass(frozen=True)
+class SPRTConfig:
+    """Error budget of the one-sided test.
+
+    ``p1`` is the smallest violation rate the campaign must not miss;
+    ``beta`` bounds the probability of accepting a family whose true rate is
+    at least ``p1``.  The defaults accept after 90 clean scenarios.
+    """
+
+    p1: float = 0.05
+    beta: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p1 < 1.0:
+            raise ValueError("p1 must lie in (0, 1)")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError("beta must lie in (0, 1)")
+
+    @property
+    def step(self) -> float:
+        """Log-likelihood drift contributed by one clean scenario."""
+        return math.log1p(-self.p1)
+
+    @property
+    def acceptance_samples(self) -> int:
+        """Clean scenarios needed before the family accepts."""
+        return math.ceil(math.log(self.beta) / self.step)
+
+
+class SPRTFamily:
+    """The sequential test for one invariant family.
+
+    ``observe(index, clean)`` may arrive in any order; observations are
+    consumed strictly in index order and the verdict freezes at the first
+    boundary crossing — later observations (including violations a deeper
+    sweep would have surfaced after the stopping point) cannot change it.
+    """
+
+    def __init__(self, family: str, config: SPRTConfig) -> None:
+        self.family = family
+        self.config = config
+        self.llr = 0.0
+        self.consumed = 0
+        self.verdict: Optional[str] = None  # "accept_clean" | "violated"
+        self.decided_at: Optional[int] = None
+        self._pending: Dict[int, bool] = {}
+        self._next_index = 0
+
+    @property
+    def decided(self) -> bool:
+        return self.verdict is not None
+
+    def observe(self, index: int, clean: bool) -> None:
+        index = int(index)
+        if index < self._next_index or index in self._pending:
+            raise ValueError(f"duplicate observation for scenario {index}")
+        self._pending[index] = bool(clean)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._next_index in self._pending:
+            clean = self._pending.pop(self._next_index)
+            index = self._next_index
+            self._next_index += 1
+            if self.decided:
+                continue  # frozen: order-consumption still advances
+            self.consumed += 1
+            if not clean:
+                self.verdict = "violated"
+                self.decided_at = index
+                self.llr = math.inf
+                continue
+            self.llr += self.config.step
+            if self.llr <= math.log(self.config.beta):
+                self.verdict = "accept_clean"
+                self.decided_at = index
+
+
+class SPRTMonitor:
+    """One :class:`SPRTFamily` per invariant family, fed whole scenarios."""
+
+    def __init__(self, config: Optional[SPRTConfig] = None,
+                 families: Iterable[str] = FAMILIES) -> None:
+        self.config = config or SPRTConfig()
+        self.families: Dict[str, SPRTFamily] = {
+            family: SPRTFamily(family, self.config) for family in families
+        }
+
+    def observe_scenario(self, index: int, violated_rules: Iterable[str]) -> None:
+        """Record one finished scenario: which rules (if any) it violated."""
+        hit = {family_of(rule) for rule in violated_rules}
+        for family, test in self.families.items():
+            test.observe(index, clean=family not in hit)
+
+    @property
+    def all_accepted(self) -> bool:
+        return all(t.verdict == "accept_clean" for t in self.families.values())
+
+    @property
+    def any_violated(self) -> bool:
+        return any(t.verdict == "violated" for t in self.families.values())
+
+    @property
+    def decided(self) -> bool:
+        """Every family has stopped — the campaign may halt early."""
+        return all(t.decided for t in self.families.values())
+
+    def verdicts(self) -> Dict[str, Optional[str]]:
+        return {family: t.verdict for family, t in self.families.items()}
+
+    def summary_rows(self) -> List[Tuple[str, str, int, Optional[int]]]:
+        """(family, verdict, scenarios consumed, decided-at index) rows."""
+        return [
+            (family, t.verdict or "undecided", t.consumed, t.decided_at)
+            for family, t in sorted(self.families.items())
+        ]

@@ -66,7 +66,7 @@ RUN_STATS = {
 }
 
 CAMPAIGN_SWEEPS = {"mlp", "cluster", "fleet", "recovery", "pipelined",
-                   "committee", "elastic"} | set(ZOO_WORKLOADS)
+                   "committee", "elastic", "adaptive"} | set(ZOO_WORKLOADS)
 
 
 def _record(result) -> None:
@@ -790,6 +790,49 @@ def test_gas_partition_exactness_under_multiplexing(sim_mlp_workload):
 # ----------------------------------------------------------------------
 # Closing summary: the acceptance bar
 # ----------------------------------------------------------------------
+
+def test_adaptive_campaign_sweep_upholds_all_invariants():
+    """The SPRT-bounded adaptive campaign slice (CI's long-horizon leg).
+
+    An :class:`~repro.sim.adversary.AdaptiveAdversary` anneals tamper
+    magnitudes toward the detection boundary, probes committee collusion,
+    and conditions its cheat rate on the carried stake ledger — all cycles
+    threaded through one persistent ledger.  The sequential tests bound the
+    slice: each invariant family accepts after 29 clean cycles
+    (``p1=0.1, beta=0.05``), so CI pays for exactly as much campaign as the
+    error budget requires while the nightly sweep runs the same machinery
+    10x deeper.
+    """
+    from repro.sim import Campaign, CampaignConfig, SPRTConfig
+
+    config = CampaignConfig(
+        cycles=36,
+        batch_size=4,
+        seed=11,
+        sprt=SPRTConfig(p1=0.1, beta=0.05),
+        early_stop=True,
+        challenger_opening_stake=500.0,
+    )
+    result = Campaign(config).run()
+    assert not result.violations, result.violations
+    # The sequential tests genuinely bounded the slice: every family
+    # accepted its zero-violation-rate hypothesis before the cycle budget.
+    assert all(v == "accept_clean" for v in result.verdicts.values()), \
+        result.verdicts
+    assert result.scenarios_run < config.cycles
+    assert result.scenarios_run >= config.sprt.acceptance_samples
+    # The adversary adapted: annealed brackets narrowed from their initial
+    # spans, and the stake-aware policy saw the weak-challenger regime.
+    assert all(b.rounds > 0 for b in result.boundaries.values())
+    assert any(r.challenger_weak for r in result.records)
+    RUN_STATS["scenarios"] += result.scenarios_run
+    RUN_STATS["workloads"].add(config.workload)
+    for rows in result.event_rows:
+        for row in rows:
+            RUN_STATS["kinds"][row["kind"]] += 1
+            RUN_STATS["statuses"][row["status"]] += 1
+    RUN_STATS["completed_sweeps"].add("adaptive")
+
 
 def test_simulation_campaign_meets_acceptance_bar():
     """>= 200 scenarios, >= 6 fault models, all four zoo workloads."""

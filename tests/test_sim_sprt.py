@@ -1,0 +1,212 @@
+"""Sequential probability-ratio early stopping: correctness properties.
+
+Two properties carry the campaign's statistical guarantee:
+
+* **soundness** — a stream containing a violation before the acceptance
+  point is never accepted (under the zero null, one counterexample rejects
+  immediately); a planted violator anywhere in the consumed prefix yields
+  verdict ``violated``, never ``accept_clean``;
+* **partition invariance** — the stopping decision is a function of the
+  scenario-index order alone: feeding the same observations in any arrival
+  order (the multiprocess campaign runner completes scenarios out of
+  order, in whatever batch partitioning) produces the identical verdict,
+  decision point and log-likelihood trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.sprt import (
+    FAMILIES,
+    SPRTConfig,
+    SPRTFamily,
+    SPRTMonitor,
+    family_of,
+)
+
+# ----------------------------------------------------------------------
+# Config arithmetic
+# ----------------------------------------------------------------------
+
+def test_acceptance_samples_matches_the_wald_bound():
+    config = SPRTConfig(p1=0.05, beta=0.01)
+    assert config.acceptance_samples == math.ceil(
+        math.log(0.01) / math.log1p(-0.05))
+    assert config.acceptance_samples == 90
+    fast = SPRTConfig(p1=0.1, beta=0.05)
+    assert fast.acceptance_samples == 29
+
+
+def test_config_rejects_degenerate_rates():
+    with pytest.raises(ValueError):
+        SPRTConfig(p1=0.0)
+    with pytest.raises(ValueError):
+        SPRTConfig(p1=1.0)
+    with pytest.raises(ValueError):
+        SPRTConfig(beta=0.0)
+
+
+def test_family_mapping_folds_rule_prefixes():
+    assert family_of("C1") == family_of("C3") == "C"
+    assert family_of("L2") == "L1"
+    assert family_of("J1") == "J1"
+    assert family_of("S2") == "S2"
+
+
+# ----------------------------------------------------------------------
+# Soundness: a planted violator is never accepted
+# ----------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=200)
+@given(
+    violator_at=st.integers(min_value=0, max_value=150),
+    total=st.integers(min_value=1, max_value=200),
+)
+def test_planted_violator_is_never_accepted(violator_at, total):
+    """If the violation lands inside the consumed prefix, verdict=violated.
+
+    The test freezes at its decision point: a violation planted *after*
+    acceptance is legitimately unseen (the campaign stopped), but a
+    violation at or before the acceptance point must always win.
+    """
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    family = SPRTFamily("S1", config)
+    for index in range(total):
+        family.observe(index, clean=(index != violator_at))
+    if violator_at < min(total, config.acceptance_samples):
+        assert family.verdict == "violated"
+        assert family.decided_at == violator_at
+        assert family.llr == math.inf
+    else:
+        assert family.verdict != "violated"
+
+
+@settings(deadline=None, max_examples=100)
+@given(clean_run=st.integers(min_value=0, max_value=200))
+def test_acceptance_happens_exactly_at_the_wald_bound(clean_run):
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    family = SPRTFamily("S2", config)
+    for index in range(clean_run):
+        family.observe(index, clean=True)
+    if clean_run >= config.acceptance_samples:
+        assert family.verdict == "accept_clean"
+        assert family.decided_at == config.acceptance_samples - 1
+    else:
+        assert family.verdict is None
+
+
+# ----------------------------------------------------------------------
+# Partition invariance: arrival order cannot change the decision
+# ----------------------------------------------------------------------
+
+def _outcome_stream(draw_flags):
+    """(index, clean) pairs from a hypothesis-drawn boolean list."""
+    return list(enumerate(draw_flags))
+
+
+@settings(deadline=None, max_examples=150)
+@given(
+    flags=st.lists(st.booleans(), min_size=1, max_size=120),
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_stopping_decision_is_invariant_to_arrival_order(flags, order_seed):
+    """Any permutation of arrivals yields the identical frozen decision."""
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    reference = SPRTFamily("S1", config)
+    for index, clean in _outcome_stream(flags):
+        reference.observe(index, clean)
+
+    shuffled = _outcome_stream(flags)
+    order_seed.shuffle(shuffled)
+    permuted = SPRTFamily("S1", config)
+    for index, clean in shuffled:
+        permuted.observe(index, clean)
+
+    assert permuted.verdict == reference.verdict
+    assert permuted.decided_at == reference.decided_at
+    assert permuted.consumed == reference.consumed
+    assert permuted.llr == reference.llr
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    flags=st.lists(st.booleans(), min_size=1, max_size=80),
+    cuts=st.lists(st.integers(min_value=1, max_value=79),
+                  max_size=6, unique=True),
+)
+def test_stopping_decision_is_invariant_to_batch_partitioning(flags, cuts):
+    """Splitting the stream into worker batches cannot move the decision.
+
+    Batches complete in reverse order here (the most adversarial
+    interleaving a worker pool can produce: the last batch lands first).
+    """
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    reference = SPRTFamily("S1", config)
+    for index, clean in _outcome_stream(flags):
+        reference.observe(index, clean)
+
+    bounds = sorted({cut for cut in cuts if cut < len(flags)})
+    edges = [0] + bounds + [len(flags)]
+    batches = [list(range(edges[i], edges[i + 1]))
+               for i in range(len(edges) - 1)]
+    partitioned = SPRTFamily("S1", config)
+    for batch in reversed(batches):
+        for index in batch:
+            partitioned.observe(index, flags[index])
+
+    assert partitioned.verdict == reference.verdict
+    assert partitioned.decided_at == reference.decided_at
+    assert partitioned.llr == reference.llr
+
+
+def test_duplicate_observations_are_rejected():
+    family = SPRTFamily("S1", SPRTConfig())
+    family.observe(0, clean=True)
+    with pytest.raises(ValueError):
+        family.observe(0, clean=True)
+    family.observe(2, clean=True)  # still pending
+    with pytest.raises(ValueError):
+        family.observe(2, clean=False)
+
+
+def test_decision_freezes_at_first_crossing():
+    """A violation arriving after acceptance cannot reopen the verdict."""
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    family = SPRTFamily("S3", config)
+    for index in range(config.acceptance_samples):
+        family.observe(index, clean=True)
+    assert family.verdict == "accept_clean"
+    family.observe(config.acceptance_samples, clean=False)
+    assert family.verdict == "accept_clean"
+    assert family.decided_at == config.acceptance_samples - 1
+
+
+# ----------------------------------------------------------------------
+# Monitor: whole-scenario observation fans out to every family
+# ----------------------------------------------------------------------
+
+def test_monitor_routes_rules_to_their_families():
+    monitor = SPRTMonitor(SPRTConfig(p1=0.1, beta=0.05))
+    monitor.observe_scenario(0, ["C2", "L2"])
+    assert monitor.families["C"].verdict == "violated"
+    assert monitor.families["L1"].verdict == "violated"
+    assert monitor.families["S1"].verdict is None
+    assert monitor.any_violated
+    assert not monitor.all_accepted
+
+
+def test_monitor_accepts_after_enough_clean_scenarios():
+    config = SPRTConfig(p1=0.1, beta=0.05)
+    monitor = SPRTMonitor(config)
+    for index in range(config.acceptance_samples):
+        monitor.observe_scenario(index, [])
+    assert monitor.all_accepted
+    assert monitor.decided
+    rows = monitor.summary_rows()
+    assert {row[0] for row in rows} == set(FAMILIES)
+    assert all(row[1] == "accept_clean" for row in rows)
